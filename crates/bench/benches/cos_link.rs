@@ -1,0 +1,53 @@
+//! CoS-specific benchmarks: silence embedding, energy detection, coherent
+//! validation and a full session packet.
+
+use cos_bench::{bench_frame, bench_rx_samples};
+use cos_core::energy_detector::EnergyDetector;
+use cos_core::interval::IntervalCodec;
+use cos_core::power_controller::PowerController;
+use cos_core::session::{CosSession, SessionConfig};
+use cos_core::validation::validate_silences;
+use cos_phy::rx::Receiver;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cos(c: &mut Criterion) {
+    let selected = vec![4usize, 12, 20, 28, 36, 44];
+    let bits: Vec<u8> = (0..40).map(|i| ((i * 5) % 3 == 0) as u8).collect();
+
+    c.bench_function("interval_encode_40_bits", |b| {
+        let codec = IntervalCodec::default();
+        b.iter(|| black_box(codec.encode(black_box(&bits))))
+    });
+
+    c.bench_function("embed_control_message", |b| {
+        let controller = PowerController::default();
+        b.iter(|| {
+            let mut frame = bench_frame();
+            black_box(controller.embed(&mut frame, &selected, &bits).expect("fits"))
+        })
+    });
+
+    let samples = bench_rx_samples();
+    let receiver = Receiver::new();
+    let fe = receiver.front_end(&samples).expect("front end");
+
+    c.bench_function("energy_detect_frame", |b| {
+        let detector = EnergyDetector::default();
+        b.iter(|| black_box(detector.detect(black_box(&fe), &selected)))
+    });
+
+    c.bench_function("coherent_validation_frame", |b| {
+        let reference = bench_frame().mapped_points;
+        b.iter(|| black_box(validate_silences(black_box(&fe), &selected, &reference)))
+    });
+
+    c.bench_function("session_full_packet", |b| {
+        let mut session = CosSession::new(SessionConfig { snr_db: 20.0, ..Default::default() }, 1);
+        let payload = vec![0xA5u8; 800];
+        b.iter(|| black_box(session.send_packet(black_box(&payload), &bits[..16])))
+    });
+}
+
+criterion_group!(benches, bench_cos);
+criterion_main!(benches);

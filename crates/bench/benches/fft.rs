@@ -1,0 +1,36 @@
+//! FFT micro-benchmarks: the OFDM hot path.
+
+use cos_dsp::fft::Fft;
+use cos_dsp::Complex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let plan = Fft::new(64);
+    let input: Vec<Complex> = (0..64)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos()))
+        .collect();
+
+    c.bench_function("fft64_forward", |b| {
+        b.iter(|| {
+            let mut buf = input.clone();
+            plan.forward(black_box(&mut buf));
+            black_box(buf[0])
+        })
+    });
+
+    c.bench_function("fft64_inverse", |b| {
+        b.iter(|| {
+            let mut buf = input.clone();
+            plan.inverse(black_box(&mut buf));
+            black_box(buf[0])
+        })
+    });
+
+    c.bench_function("fft64_plan_construction", |b| {
+        b.iter(|| black_box(Fft::new(64)))
+    });
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Full PHY chain benchmarks: frame build, waveform render, channel,
+//! front end and decode — the cost of one 1024-byte packet at 24 Mbps.
+
+use cos_bench::{bench_frame, bench_payload, bench_rx_samples};
+use cos_phy::rates::DataRate;
+use cos_phy::rx::{Receiver, RxConfig};
+use cos_phy::tx::Transmitter;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_phy(c: &mut Criterion) {
+    let payload = bench_payload();
+    let mut group = c.benchmark_group("phy_chain");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+
+    group.bench_function("tx_build_frame_24mbps", |b| {
+        b.iter(|| black_box(Transmitter::new().build_frame(black_box(&payload), DataRate::Mbps24, 0x5D)))
+    });
+
+    let frame = bench_frame();
+    group.bench_function("tx_render_waveform", |b| {
+        b.iter(|| black_box(frame.to_time_samples()))
+    });
+
+    let samples = bench_rx_samples();
+    let receiver = Receiver::new();
+    group.bench_function("rx_front_end", |b| {
+        b.iter(|| black_box(receiver.front_end(black_box(&samples)).expect("front end")))
+    });
+
+    let fe = receiver.front_end(&samples).expect("front end");
+    group.bench_function("rx_decode", |b| {
+        b.iter(|| black_box(receiver.decode(black_box(&fe), None)))
+    });
+
+    group.bench_function("rx_receive_end_to_end", |b| {
+        b.iter(|| black_box(receiver.receive(black_box(&samples), &RxConfig::ideal()).expect("rx")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phy);
+criterion_main!(benches);

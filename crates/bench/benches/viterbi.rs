@@ -1,0 +1,56 @@
+//! Viterbi decoding benchmarks: plain soft decoding, erasure decoding and
+//! the punctured rates.
+
+use cos_fec::{CodeRate, ConvEncoder, ViterbiDecoder};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput, BenchmarkId};
+use std::hint::black_box;
+
+fn make_llrs(bits: usize, seed: u64) -> Vec<f64> {
+    let mut data: Vec<u8> = (0..bits)
+        .map(|i| (((i as u64).wrapping_mul(seed) >> 13) & 1) as u8)
+        .collect();
+    data.extend_from_slice(&[0; 6]);
+    ConvEncoder::new()
+        .encode(&data)
+        .iter()
+        .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viterbi");
+    for &bits in &[1000usize, 8214] {
+        let llrs = make_llrs(bits, 0x9E3779B97F4A7C15);
+        group.throughput(Throughput::Elements(bits as u64));
+        group.bench_with_input(BenchmarkId::new("soft_decode", bits), &llrs, |b, llrs| {
+            b.iter(|| black_box(ViterbiDecoder::new().decode(black_box(llrs), true)))
+        });
+
+        // Erasure Viterbi decoding: 5 % of bits erased.
+        let mut erased = llrs.clone();
+        for i in (0..erased.len()).step_by(20) {
+            erased[i] = 0.0;
+        }
+        group.bench_with_input(BenchmarkId::new("erasure_decode", bits), &erased, |b, llrs| {
+            b.iter(|| black_box(ViterbiDecoder::new().decode(black_box(llrs), true)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("conv_encode_8214_bits", |b| {
+        let data: Vec<u8> = (0..8214).map(|i| ((i * 7) % 3 == 0) as u8).collect();
+        b.iter(|| black_box(ConvEncoder::new().encode(black_box(&data))))
+    });
+
+    c.bench_function("puncture_depuncture_3_4", |b| {
+        let coded = vec![0u8; 16428];
+        b.iter(|| {
+            let tx = CodeRate::ThreeQuarters.puncture(black_box(&coded));
+            let soft: Vec<f64> = tx.iter().map(|&x| if x == 0 { 1.0 } else { -1.0 }).collect();
+            black_box(CodeRate::ThreeQuarters.depuncture(&soft))
+        })
+    });
+}
+
+criterion_group!(benches, bench_viterbi);
+criterion_main!(benches);

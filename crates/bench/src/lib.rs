@@ -1,0 +1,35 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use cos_channel::{ChannelConfig, Link};
+use cos_phy::rates::DataRate;
+use cos_phy::tx::{Transmitter, TxFrame};
+use cos_dsp::Complex;
+
+/// A deterministic 1020-byte payload (1024-byte PSDU).
+pub fn bench_payload() -> Vec<u8> {
+    (0..1020u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect()
+}
+
+/// A built 24 Mbps frame over the bench payload.
+pub fn bench_frame() -> TxFrame {
+    Transmitter::new().build_frame(&bench_payload(), DataRate::Mbps24, 0x5D)
+}
+
+/// The bench frame's waveform after a 20 dB indoor channel.
+pub fn bench_rx_samples() -> Vec<Complex> {
+    let mut link = Link::new(ChannelConfig::default(), 20.0, 42);
+    link.transmit(&bench_frame().to_time_samples())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        assert_eq!(bench_payload().len(), 1020);
+        let frame = bench_frame();
+        assert_eq!(frame.n_data_symbols(), 86);
+        assert!(bench_rx_samples().len() > 86 * 80);
+    }
+}

@@ -1,0 +1,92 @@
+//! Additive white Gaussian noise.
+
+use cos_dsp::{Complex, GaussianSource};
+
+/// A seeded AWGN source with a fixed per-sample (time-domain) noise
+/// variance.
+///
+/// # Examples
+///
+/// ```
+/// use cos_channel::Awgn;
+/// use cos_dsp::Complex;
+///
+/// let mut awgn = Awgn::new(0.01, 7);
+/// let noisy = awgn.add_noise(&[Complex::ONE; 8]);
+/// assert_eq!(noisy.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Awgn {
+    noise_var: f64,
+    rng: GaussianSource,
+}
+
+impl Awgn {
+    /// Creates a noise source with total complex variance `noise_var`
+    /// (`E[|n|²] = noise_var`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var` is negative or not finite.
+    pub fn new(noise_var: f64, seed: u64) -> Self {
+        assert!(noise_var >= 0.0 && noise_var.is_finite(), "invalid noise variance {noise_var}");
+        Awgn { noise_var, rng: GaussianSource::new(seed) }
+    }
+
+    /// The configured per-sample noise variance.
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Returns `samples + noise`.
+    pub fn add_noise(&mut self, samples: &[Complex]) -> Vec<Complex> {
+        samples
+            .iter()
+            .map(|&x| x + self.rng.complex_normal(self.noise_var))
+            .collect()
+    }
+
+    /// Adds noise in place.
+    pub fn add_noise_in_place(&mut self, samples: &mut [Complex]) {
+        for x in samples.iter_mut() {
+            *x += self.rng.complex_normal(self.noise_var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_variance_is_transparent() {
+        let mut awgn = Awgn::new(0.0, 1);
+        let tx = vec![Complex::new(1.5, -0.5); 16];
+        assert_eq!(awgn.add_noise(&tx), tx);
+    }
+
+    #[test]
+    fn noise_energy_matches_variance() {
+        let mut awgn = Awgn::new(0.25, 2);
+        let zeros = vec![Complex::ZERO; 100_000];
+        let noisy = awgn.add_noise(&zeros);
+        let measured: f64 =
+            noisy.iter().map(|n| n.norm_sqr()).sum::<f64>() / noisy.len() as f64;
+        assert!((measured - 0.25).abs() / 0.25 < 0.03, "measured {measured}");
+    }
+
+    #[test]
+    fn in_place_matches_owned() {
+        let tx = vec![Complex::ONE; 64];
+        let owned = Awgn::new(0.1, 3).add_noise(&tx);
+        let mut buf = tx;
+        Awgn::new(0.1, 3).add_noise_in_place(&mut buf);
+        assert_eq!(buf, owned);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid noise variance")]
+    fn negative_variance_panics() {
+        Awgn::new(-1.0, 0);
+    }
+}

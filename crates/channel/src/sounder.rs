@@ -1,0 +1,99 @@
+//! The channel sounder — ground truth for the "actual SNR" of Fig. 2.
+//!
+//! The paper uses dedicated channel-sounder equipment to measure the true
+//! channel SNR independently of the NIC's estimate. In the simulator the
+//! sounder simply reads the channel taps the model knows exactly.
+
+use crate::multipath::IndoorChannel;
+use cos_dsp::linear_to_db;
+
+/// FFT bins of the 48 data subcarriers of 802.11a (ascending subcarrier
+/// index −26..26, skipping DC and the pilots ±7/±21). Kept local so the
+/// channel layer stays independent of `cos-phy`; a test in that crate
+/// asserts the two layouts agree.
+fn data_bins() -> [usize; 48] {
+    let mut out = [0usize; 48];
+    let mut n = 0;
+    for idx in -26i32..=26 {
+        if idx == 0 || [-21, -7, 7, 21].contains(&idx) {
+            continue;
+        }
+        out[n] = idx.rem_euclid(64) as usize;
+        n += 1;
+    }
+    out
+}
+
+/// Ground-truth channel measurements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelSounder;
+
+impl ChannelSounder {
+    /// Creates a sounder.
+    pub fn new() -> Self {
+        ChannelSounder
+    }
+
+    /// The true per-data-subcarrier SNRs (linear) for a channel and a
+    /// nominal per-subcarrier signal-to-noise ratio `snr0` (the SNR a
+    /// unit-gain channel would deliver).
+    pub fn per_subcarrier_snr(&self, channel: &IndoorChannel, snr0: f64) -> [f64; 48] {
+        let h = channel.freq_response();
+        let mut out = [0.0f64; 48];
+        for (slot, &bin) in out.iter_mut().zip(data_bins().iter()) {
+            *slot = h[bin].norm_sqr() * snr0;
+        }
+        out
+    }
+
+    /// The **actual SNR** in dB: wideband mean of the true per-subcarrier
+    /// SNRs — what the paper's sounder reports.
+    pub fn actual_snr_db(&self, channel: &IndoorChannel, snr0: f64) -> f64 {
+        let snrs = self.per_subcarrier_snr(channel, snr0);
+        let mean = snrs.iter().sum::<f64>() / snrs.len() as f64;
+        linear_to_db(mean.max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipath::ChannelConfig;
+
+    #[test]
+    fn flat_channel_actual_snr_matches_nominal_gain() {
+        let ch = IndoorChannel::new(ChannelConfig::flat(), 5);
+        let sounder = ChannelSounder::new();
+        let snr0 = 100.0; // 20 dB nominal
+        let actual = sounder.actual_snr_db(&ch, snr0);
+        let expect = linear_to_db(ch.power_gain() * snr0);
+        assert!((actual - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selective_channel_has_spread_subcarrier_snrs() {
+        let ch = IndoorChannel::new(ChannelConfig::default(), 21);
+        let snrs = ChannelSounder::new().per_subcarrier_snr(&ch, 10.0);
+        let max = snrs.iter().cloned().fold(0.0, f64::max);
+        let min = snrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1.5);
+    }
+
+    #[test]
+    fn actual_snr_scales_with_snr0() {
+        let ch = IndoorChannel::new(ChannelConfig::default(), 33);
+        let s = ChannelSounder::new();
+        let a = s.actual_snr_db(&ch, 10.0);
+        let b = s.actual_snr_db(&ch, 100.0);
+        assert!((b - a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_bin_layout_skips_dc_and_pilots() {
+        let bins = data_bins();
+        assert_eq!(bins.len(), 48);
+        for forbidden in [0usize, 7, 21, 64 - 7, 64 - 21] {
+            assert!(!bins.contains(&forbidden), "bin {forbidden} must be excluded");
+        }
+    }
+}

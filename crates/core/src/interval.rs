@@ -1,0 +1,227 @@
+//! Interval modulation of control messages (paper §II-A/III-B).
+//!
+//! Control-subcarrier symbol positions are enumerated slot-major (all
+//! selected subcarriers of OFDM symbol *i*, then symbol *i+1*, …). The
+//! first silence marks the start of the message; every subsequent group of
+//! `k` control bits (k = 4 in the paper and by default here) is encoded as
+//! the number of *normal* symbols between consecutive silences — the
+//! "interval". Bits `0010` ⇒ interval 2, `0110` ⇒ interval 6, and so on,
+//! exactly the Fig. 1(a) example.
+
+/// Encoder/decoder between control bits and silence positions.
+///
+/// # Examples
+///
+/// ```
+/// use cos_core::IntervalCodec;
+///
+/// let codec = IntervalCodec::new(4);
+/// // The paper's Fig. 1(a) example: 24 bits in six groups.
+/// let bits = [0,0,1,0, 0,1,1,0, 1,0,0,0, 0,0,1,1, 1,0,1,0, 0,1,1,1];
+/// let positions = codec.encode(&bits);
+/// let decoded = codec.decode(&positions);
+/// assert_eq!(decoded.as_deref(), Some(&bits[..]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalCodec {
+    bits_per_interval: usize,
+}
+
+impl IntervalCodec {
+    /// Creates a codec embedding `bits_per_interval` bits per interval
+    /// (the paper uses 4, making the maximum interval 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_interval` is 0 or greater than 16.
+    pub fn new(bits_per_interval: usize) -> Self {
+        assert!(
+            (1..=16).contains(&bits_per_interval),
+            "bits per interval must be in 1..=16, got {bits_per_interval}"
+        );
+        IntervalCodec { bits_per_interval }
+    }
+
+    /// Bits carried by each interval.
+    pub fn bits_per_interval(&self) -> usize {
+        self.bits_per_interval
+    }
+
+    /// The largest encodable interval, `2^k − 1`.
+    pub fn max_interval(&self) -> usize {
+        (1 << self.bits_per_interval) - 1
+    }
+
+    /// Encodes control bits into silence positions (indices into the
+    /// slot-major control-position enumeration). The first position is
+    /// always 0 — the start marker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `k` or a bit is not
+    /// 0/1.
+    pub fn encode(&self, bits: &[u8]) -> Vec<usize> {
+        let k = self.bits_per_interval;
+        assert!(
+            bits.len().is_multiple_of(k),
+            "control message length {} is not a multiple of k = {k}",
+            bits.len()
+        );
+        let mut positions = Vec::with_capacity(1 + bits.len() / k);
+        positions.push(0);
+        let mut cursor = 0usize;
+        for group in bits.chunks_exact(k) {
+            let mut value = 0usize;
+            for (i, &b) in group.iter().enumerate() {
+                assert!(b <= 1, "control bits must be 0 or 1, got {b}");
+                // MSB-first within the group, matching the paper's
+                // "0010" → 2 reading.
+                value |= (b as usize) << (k - 1 - i);
+            }
+            cursor += value + 1;
+            positions.push(cursor);
+        }
+        positions
+    }
+
+    /// Decodes silence positions (sorted ascending) back into control
+    /// bits. The first position is the start marker; each gap of `v`
+    /// normal symbols decodes to the `k`-bit group `v`.
+    ///
+    /// Returns `None` if positions are not strictly increasing or a gap
+    /// exceeds the maximum interval (detection corruption).
+    pub fn decode(&self, positions: &[usize]) -> Option<Vec<u8>> {
+        if positions.len() < 2 {
+            return Some(Vec::new());
+        }
+        let k = self.bits_per_interval;
+        let mut bits = Vec::with_capacity((positions.len() - 1) * k);
+        for pair in positions.windows(2) {
+            if pair[1] <= pair[0] {
+                return None;
+            }
+            let value = pair[1] - pair[0] - 1;
+            if value > self.max_interval() {
+                return None;
+            }
+            for i in 0..k {
+                bits.push(((value >> (k - 1 - i)) & 1) as u8);
+            }
+        }
+        Some(bits)
+    }
+
+    /// Number of control positions consumed by encoding `bits`
+    /// (the index one past the last silence).
+    pub fn span(&self, bits: &[u8]) -> usize {
+        *self.encode(bits).last().expect("encode always yields the start marker") + 1
+    }
+
+    /// Number of silence symbols used to carry `n_bits` control bits:
+    /// the start marker plus one per interval.
+    pub fn silences_for(&self, n_bits: usize) -> usize {
+        assert!(n_bits.is_multiple_of(self.bits_per_interval), "bit count must be a multiple of k");
+        1 + n_bits / self.bits_per_interval
+    }
+
+    /// The expected span of a random `n_bits` message: each interval
+    /// averages `(2^k − 1)/2 + 1` positions.
+    pub fn expected_span(&self, n_bits: usize) -> f64 {
+        let groups = (n_bits / self.bits_per_interval) as f64;
+        1.0 + groups * (self.max_interval() as f64 / 2.0 + 1.0)
+    }
+}
+
+impl Default for IntervalCodec {
+    /// The paper's k = 4.
+    fn default() -> Self {
+        IntervalCodec::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_intervals() {
+        // "0010" → 2, "0110" → 6, "1000" → 8, "0011" → 3, "1010" → 10,
+        // "0111" → 7.
+        let codec = IntervalCodec::default();
+        let bits = [0,0,1,0, 0,1,1,0, 1,0,0,0, 0,0,1,1, 1,0,1,0, 0,1,1,1];
+        let pos = codec.encode(&bits);
+        assert_eq!(pos[0], 0);
+        let gaps: Vec<usize> = pos.windows(2).map(|w| w[1] - w[0] - 1).collect();
+        assert_eq!(gaps, vec![2, 6, 8, 3, 10, 7]);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let codec = IntervalCodec::default();
+        for len in [4usize, 8, 24, 64, 128] {
+            let bits: Vec<u8> = (0..len).map(|i| ((i * 7 + 3) % 5 == 0) as u8).collect();
+            let pos = codec.encode(&bits);
+            assert_eq!(codec.decode(&pos), Some(bits));
+        }
+    }
+
+    #[test]
+    fn empty_message_is_just_the_marker() {
+        let codec = IntervalCodec::default();
+        assert_eq!(codec.encode(&[]), vec![0]);
+        assert_eq!(codec.decode(&[0]), Some(vec![]));
+    }
+
+    #[test]
+    fn all_zero_bits_pack_densely() {
+        // Value 0 ⇒ adjacent silences.
+        let codec = IntervalCodec::default();
+        let pos = codec.encode(&[0; 12]);
+        assert_eq!(pos, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_one_bits_use_max_interval() {
+        let codec = IntervalCodec::default();
+        let pos = codec.encode(&[1; 8]);
+        assert_eq!(pos, vec![0, 16, 32]);
+    }
+
+    #[test]
+    fn span_and_silence_counts() {
+        let codec = IntervalCodec::default();
+        let bits = [1, 0, 0, 1, 0, 0, 0, 0]; // values 9, 0
+        assert_eq!(codec.span(&bits), 12);
+        assert_eq!(codec.silences_for(8), 3);
+        assert!((codec.expected_span(8) - (1.0 + 2.0 * 8.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_rejects_oversized_gap() {
+        let codec = IntervalCodec::default();
+        assert_eq!(codec.decode(&[0, 18]), None); // gap 17 > 15
+    }
+
+    #[test]
+    fn decode_rejects_disorder() {
+        let codec = IntervalCodec::default();
+        assert_eq!(codec.decode(&[5, 5]), None);
+        assert_eq!(codec.decode(&[5, 3]), None);
+    }
+
+    #[test]
+    fn other_k_values() {
+        for k in [1usize, 2, 3, 8] {
+            let codec = IntervalCodec::new(k);
+            let bits: Vec<u8> = (0..k * 5).map(|i| (i % 2) as u8).collect();
+            let pos = codec.encode(&bits);
+            assert_eq!(codec.decode(&pos), Some(bits), "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of k")]
+    fn ragged_message_panics() {
+        IntervalCodec::default().encode(&[1, 0, 1]);
+    }
+}

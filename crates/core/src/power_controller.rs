@@ -1,0 +1,223 @@
+//! The power controller (paper §III-B): inserts silence symbols into a
+//! built frame by zeroing IFFT inputs on the selected control subcarriers.
+//!
+//! Control positions are enumerated slot-major: position `p` maps to OFDM
+//! symbol `p / n_sel` and the `p % n_sel`-th selected subcarrier (ascending
+//! logical order) — the enumeration of the paper's Fig. 1(a).
+
+use crate::interval::IntervalCodec;
+use cos_phy::subcarriers::NUM_DATA;
+use cos_phy::tx::TxFrame;
+use std::error::Error;
+use std::fmt;
+
+/// Failure to embed a control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// No control subcarriers are selected.
+    NoControlSubcarriers,
+    /// The message needs more control positions than the frame offers.
+    MessageTooLong {
+        /// Positions required (span of the encoded message).
+        need: usize,
+        /// Positions available (`symbols × selected subcarriers`).
+        have: usize,
+    },
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::NoControlSubcarriers => write!(f, "no control subcarriers selected"),
+            EmbedError::MessageTooLong { need, have } => {
+                write!(f, "control message spans {need} positions but frame offers {have}")
+            }
+        }
+    }
+}
+
+impl Error for EmbedError {}
+
+/// Embeds control messages into frames as silence-symbol patterns.
+#[derive(Debug, Clone)]
+pub struct PowerController {
+    codec: IntervalCodec,
+}
+
+impl Default for PowerController {
+    fn default() -> Self {
+        PowerController::new(IntervalCodec::default())
+    }
+}
+
+impl PowerController {
+    /// Creates a controller with the given interval codec.
+    pub fn new(codec: IntervalCodec) -> Self {
+        PowerController { codec }
+    }
+
+    /// The interval codec in use.
+    pub fn codec(&self) -> &IntervalCodec {
+        &self.codec
+    }
+
+    /// Converts a slot-major control position into `(symbol, logical
+    /// subcarrier)` coordinates for a given selected-subcarrier set.
+    pub fn position_to_coords(position: usize, selected: &[usize]) -> (usize, usize) {
+        assert!(!selected.is_empty(), "selected subcarrier set is empty");
+        (position / selected.len(), selected[position % selected.len()])
+    }
+
+    /// Embeds `control_bits` into `frame` by silencing the encoded
+    /// positions on `selected` control subcarriers (logical indices,
+    /// ascending). Returns the silenced positions.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbedError`] if no subcarriers are selected or the message does
+    /// not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` contains out-of-range or unsorted/duplicate
+    /// indices, or `control_bits` violates the codec's length contract.
+    pub fn embed(
+        &self,
+        frame: &mut TxFrame,
+        selected: &[usize],
+        control_bits: &[u8],
+    ) -> Result<Vec<usize>, EmbedError> {
+        if selected.is_empty() {
+            return Err(EmbedError::NoControlSubcarriers);
+        }
+        for pair in selected.windows(2) {
+            assert!(pair[0] < pair[1], "selected subcarriers must be sorted and unique");
+        }
+        assert!(
+            *selected.last().expect("non-empty") < NUM_DATA,
+            "selected subcarrier out of range"
+        );
+
+        let positions = self.codec.encode(control_bits);
+        let have = frame.n_data_symbols() * selected.len();
+        let need = positions.last().expect("start marker always present") + 1;
+        if need > have {
+            return Err(EmbedError::MessageTooLong { need, have });
+        }
+        for &p in &positions {
+            let (symbol, sc) = Self::position_to_coords(p, selected);
+            frame.silence(symbol, sc);
+        }
+        Ok(positions)
+    }
+
+    /// The maximum number of random control bits that fit into a frame
+    /// with `n_symbols` DATA symbols and `n_selected` control subcarriers,
+    /// guaranteed for *any* bit pattern (worst case all-ones intervals).
+    pub fn guaranteed_capacity_bits(&self, n_symbols: usize, n_selected: usize) -> usize {
+        let have = n_symbols * n_selected;
+        if have < 2 {
+            return 0;
+        }
+        let k = self.codec.bits_per_interval();
+        let per_group = self.codec.max_interval() + 1;
+        ((have - 1) / per_group) * k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cos_phy::rates::DataRate;
+    use cos_phy::tx::Transmitter;
+
+    fn test_frame() -> TxFrame {
+        Transmitter::new().build_frame(&[0xA5; 400], DataRate::Mbps24, 0x5D)
+    }
+
+    #[test]
+    fn embed_silences_encoded_positions() {
+        let mut frame = test_frame();
+        let pc = PowerController::default();
+        let selected = vec![3, 11, 19, 27, 35, 43];
+        let bits = [0, 0, 1, 0, 0, 1, 1, 0]; // intervals 2, 6
+        let positions = pc.embed(&mut frame, &selected, &bits).expect("fits");
+        assert_eq!(positions, vec![0, 3, 10]);
+        assert!(frame.is_silenced(0, 3)); // position 0 → symbol 0, first selected
+        assert!(frame.is_silenced(0, 27)); // position 3 → symbol 0, selected[3]
+        assert!(frame.is_silenced(1, 35)); // position 10 → symbol 1, selected[10 % 6 = 4]
+        assert_eq!(frame.silence_count(), 3);
+    }
+
+    #[test]
+    fn coords_enumeration_is_slot_major() {
+        let sel = vec![5, 9, 14];
+        assert_eq!(PowerController::position_to_coords(0, &sel), (0, 5));
+        assert_eq!(PowerController::position_to_coords(2, &sel), (0, 14));
+        assert_eq!(PowerController::position_to_coords(3, &sel), (1, 5));
+        assert_eq!(PowerController::position_to_coords(7, &sel), (2, 9));
+    }
+
+    #[test]
+    fn empty_selection_is_an_error() {
+        let mut frame = test_frame();
+        let err = PowerController::default().embed(&mut frame, &[], &[0, 0, 0, 0]);
+        assert_eq!(err, Err(EmbedError::NoControlSubcarriers));
+    }
+
+    #[test]
+    fn oversized_message_is_an_error() {
+        let mut frame = test_frame();
+        let n_sym = frame.n_data_symbols();
+        // One control subcarrier: positions = n_sym. All-ones bits use 16
+        // positions per group; ask for more groups than fit.
+        let groups = n_sym / 16 + 2;
+        let bits = vec![1u8; groups * 4];
+        let err = PowerController::default().embed(&mut frame, &[0], &bits);
+        assert!(matches!(err, Err(EmbedError::MessageTooLong { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn guaranteed_capacity_is_embeddable() {
+        let mut frame = test_frame();
+        let pc = PowerController::default();
+        let selected = vec![1, 7, 20, 33];
+        let cap = pc.guaranteed_capacity_bits(frame.n_data_symbols(), selected.len());
+        assert!(cap > 0);
+        let worst = vec![1u8; cap]; // all-ones = maximal span
+        pc.embed(&mut frame, &selected, &worst).expect("guaranteed capacity must fit");
+    }
+
+    #[test]
+    fn message_bits_survive_a_loopback_decode_of_positions() {
+        let mut frame = test_frame();
+        let pc = PowerController::default();
+        let selected = vec![0, 12, 24, 36];
+        let bits = [1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        pc.embed(&mut frame, &selected, &bits).expect("fits");
+        // Recover positions from the frame's silence mask.
+        let mut positions = Vec::new();
+        for sym in 0..frame.n_data_symbols() {
+            for (j, &sc) in selected.iter().enumerate() {
+                if frame.is_silenced(sym, sc) {
+                    positions.push(sym * selected.len() + j);
+                }
+            }
+        }
+        assert_eq!(pc.codec().decode(&positions), Some(bits.to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn unsorted_selection_panics() {
+        let mut frame = test_frame();
+        let _ = PowerController::default().embed(&mut frame, &[9, 3], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_selection_panics() {
+        let mut frame = test_frame();
+        let _ = PowerController::default().embed(&mut frame, &[50], &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,357 @@
+//! An end-to-end CoS link: data packets with embedded free control
+//! messages over an indoor fading channel, with EVM feedback, subcarrier
+//! selection and rate adaptation in the loop — the whole Fig. 8
+//! architecture in one object.
+
+use crate::control_rate::{ControlRateAdapter, ControlRateTable};
+use crate::energy_detector::{DetectionAccuracy, EnergyDetector};
+use crate::interval::IntervalCodec;
+use crate::power_controller::{EmbedError, PowerController};
+use crate::subcarrier_select::{select_control_subcarriers, SelectionPolicy};
+use crate::validation::validate_silences;
+use cos_channel::{ChannelConfig, Link};
+use cos_phy::evm::{per_subcarrier_evm, reconstruct_points};
+use cos_phy::rates::DataRate;
+use cos_phy::rx::Receiver;
+use cos_phy::subcarriers::NUM_DATA;
+use cos_phy::tx::Transmitter;
+
+/// Configuration of a CoS session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Channel model.
+    pub channel: ChannelConfig,
+    /// Average link SNR in dB.
+    pub snr_db: f64,
+    /// Fixed data rate; `None` enables SNR-based rate adaptation.
+    pub rate: Option<DataRate>,
+    /// Energy-detection adaptive-threshold bias (dB above the geometric
+    /// midpoint between noise floor and subcarrier signal energy).
+    pub detector_bias_db: f64,
+    /// Control bits per interval (paper: 4).
+    pub bits_per_interval: usize,
+    /// Minimum number of control subcarriers to keep selected.
+    pub min_control_subcarriers: usize,
+    /// Wall-clock gap between packets in seconds (drives channel
+    /// evolution).
+    pub packet_interval: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            channel: ChannelConfig::default(),
+            snr_db: 18.0,
+            rate: None,
+            detector_bias_db: 1.0,
+            bits_per_interval: 4,
+            min_control_subcarriers: 6,
+            packet_interval: 1e-3,
+        }
+    }
+}
+
+/// Per-packet outcome.
+#[derive(Debug, Clone)]
+pub struct PacketReport {
+    /// Did the data packet pass its CRC?
+    pub data_ok: bool,
+    /// The control bits recovered from detected silences (`None` when the
+    /// silence pattern did not decode).
+    pub control_bits: Option<Vec<u8>>,
+    /// Did the control message arrive exactly as sent?
+    pub control_ok: bool,
+    /// Silence symbols inserted.
+    pub silences_sent: usize,
+    /// Detection accuracy against the transmitted silence pattern.
+    pub detection: DetectionAccuracy,
+    /// The receiver's measured SNR for this packet (dB).
+    pub measured_snr_db: f64,
+    /// Rate the packet was sent at.
+    pub rate: DataRate,
+    /// Control subcarriers used for this packet.
+    pub selected: Vec<usize>,
+}
+
+/// An end-to-end CoS session between one sender and one receiver.
+#[derive(Debug, Clone)]
+pub struct CosSession {
+    config: SessionConfig,
+    link: Link,
+    phy_tx: Transmitter,
+    phy_rx: Receiver,
+    controller: PowerController,
+    detector: EnergyDetector,
+    adapter: ControlRateAdapter,
+    /// Current control subcarriers (receiver feedback; bootstrap default).
+    selected: Vec<usize>,
+    /// Rate for the next packet.
+    rate: DataRate,
+    seq: u64,
+}
+
+impl CosSession {
+    /// Creates a session over a fresh channel realisation.
+    pub fn new(config: SessionConfig, seed: u64) -> Self {
+        let codec = IntervalCodec::new(config.bits_per_interval);
+        let link = Link::new(config.channel, config.snr_db, seed);
+        // Bootstrap selection before any EVM feedback exists: a centred
+        // contiguous block (the Fig. 10(a) layout).
+        let selected = (9..9 + config.min_control_subcarriers.max(1)).collect();
+        let rate = config.rate.unwrap_or(DataRate::Mbps12);
+        CosSession {
+            detector: EnergyDetector::new(config.detector_bias_db),
+            controller: PowerController::new(codec),
+            adapter: ControlRateAdapter::new(ControlRateTable::default()),
+            phy_tx: Transmitter::new(),
+            phy_rx: Receiver::new(),
+            link,
+            selected,
+            rate,
+            seq: 0,
+            config,
+        }
+    }
+
+    /// The control subcarriers currently in force.
+    pub fn selected_subcarriers(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// The rate the next packet will use.
+    pub fn current_rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// The silence budget (per packet) the rate adapter currently allows.
+    pub fn silence_budget(&self, psdu_bytes: usize) -> usize {
+        self.adapter.silence_budget(self.rate, psdu_bytes)
+    }
+
+    /// The underlying link (e.g. for sounding the true channel).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Sends one data packet with `control_bits` embedded as silence
+    /// symbols; runs the complete receive pipeline and feedback loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control_bits` length is not a multiple of the codec's
+    /// `k` or the message exceeds the frame capacity.
+    pub fn send_packet(&mut self, payload: &[u8], control_bits: &[u8]) -> PacketReport {
+        self.seq += 1;
+        let scrambler_seed = (self.seq % 127 + 1) as u8;
+        let rate = self.rate;
+        let mut frame = self.phy_tx.build_frame(payload, rate, scrambler_seed);
+
+        // Embed; if the message outgrows the current selection (short
+        // frame or long message), expand the control-subcarrier set for
+        // this packet with evenly spaced extras — best effort, exactly
+        // what a sender with a stale feedback vector would do.
+        let mut selected = self.selected.clone();
+        let truth = loop {
+            match self.controller.embed(&mut frame, &selected, control_bits) {
+                Ok(positions) => break positions,
+                Err(EmbedError::NoControlSubcarriers) => {
+                    panic!("session always keeps a non-empty selection")
+                }
+                Err(e @ EmbedError::MessageTooLong { .. }) => {
+                    if selected.len() >= NUM_DATA {
+                        panic!("{e}: message exceeds the frame's total control capacity");
+                    }
+                    let mut extra: Vec<usize> =
+                        (0..NUM_DATA).filter(|sc| !selected.contains(sc)).collect();
+                    // Spread the extras across the band.
+                    extra.sort_by_key(|&sc| (sc * 7919) % NUM_DATA);
+                    selected.extend(extra.into_iter().take(6));
+                    selected.sort_unstable();
+                }
+            }
+        };
+        let silences_sent = truth.len();
+
+        // Air.
+        let rx_samples = self.link.transmit(&frame.to_time_samples());
+
+        // Receive: front end, energy detection, erasure decode.
+        let report = match self.phy_rx.front_end(&rx_samples) {
+            Ok(fe) => {
+                let detection = self.detector.detect(&fe, &selected);
+                let total = fe.raw_symbols.len() * selected.len();
+                let mut accuracy = DetectionAccuracy::evaluate(&detection.positions, &truth, total);
+                let rx = self.phy_rx.decode(&fe, Some(&detection.erasures));
+                let mut control = detection.control_bits(self.controller.codec());
+                let measured = fe.measured_snr_db();
+
+                // Feedback loop: EVM-based subcarrier selection for the
+                // next packet, valid only when the CRC passed. The same
+                // point reconstruction also refines the control message by
+                // coherent silence validation (inner QAM points stop
+                // masquerading as silences).
+                let next_rate = self.config.rate.unwrap_or_else(|| DataRate::select(measured));
+                if let (Some(payload_rx), Some(seed)) = (&rx.payload, rx.scrambler_seed) {
+                    let reference = reconstruct_points(payload_rx, rate, seed);
+                    let refined = validate_silences(&fe, &selected, &reference);
+                    accuracy = DetectionAccuracy::evaluate(&refined, &truth, total);
+                    control = self.controller.codec().decode(&refined);
+                    let evm = per_subcarrier_evm(
+                        &fe.equalized,
+                        &reference,
+                        rate.modulation(),
+                        Some(&detection.erasures),
+                    );
+                    let snrs = fe.per_subcarrier_snr();
+                    let mut snr_db = [0.0f64; NUM_DATA];
+                    for (slot, &s) in snr_db.iter_mut().zip(snrs.iter()) {
+                        *slot = cos_dsp::linear_to_db(s.max(1e-12));
+                    }
+                    self.selected = select_control_subcarriers(
+                        &evm,
+                        &snr_db,
+                        SelectionPolicy::weak_by_evm(
+                            next_rate.modulation(),
+                            self.config.min_control_subcarriers,
+                        ),
+                    );
+                    self.adapter.feedback(measured);
+                } else {
+                    self.adapter.transmission_failed();
+                }
+                self.rate = next_rate;
+
+                let control_ok = control.as_deref() == Some(control_bits);
+                PacketReport {
+                    data_ok: rx.crc_ok(),
+                    control_bits: control,
+                    control_ok,
+                    silences_sent,
+                    detection: accuracy,
+                    measured_snr_db: measured,
+                    rate,
+                    selected: self.selected.clone(),
+                }
+            }
+            Err(_) => {
+                self.adapter.transmission_failed();
+                PacketReport {
+                    data_ok: false,
+                    control_bits: None,
+                    control_ok: false,
+                    silences_sent,
+                    detection: DetectionAccuracy::default(),
+                    measured_snr_db: f64::NEG_INFINITY,
+                    rate,
+                    selected: self.selected.clone(),
+                }
+            }
+        };
+
+        // The world moves on between packets.
+        self.link.channel_mut().advance(self.config.packet_interval);
+        report
+    }
+}
+
+/// Bounds a selection to the 48 data subcarriers (exposed for harness
+/// code that builds custom selections).
+pub fn clamp_selection(selection: &mut Vec<usize>) {
+    selection.retain(|&sc| sc < NUM_DATA);
+    selection.sort_unstable();
+    selection.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(n: usize) -> Vec<u8> {
+        (0..n).map(|i| ((i * 5 + 1) % 3 == 0) as u8).collect()
+    }
+
+    #[test]
+    fn high_snr_session_delivers_data_and_control() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 24.0, ..Default::default() }, 42);
+        let msg = bits(16);
+        s.send_packet(&[0xAB; 600], &msg); // warm-up: establish feedback
+        let mut control_hits = 0;
+        let mut data_hits = 0;
+        for _ in 0..20 {
+            let r = s.send_packet(&[0xAB; 600], &msg);
+            control_hits += r.control_ok as u32;
+            data_hits += r.data_ok as u32;
+        }
+        assert!(data_hits >= 19, "data {data_hits}/20");
+        assert!(control_hits >= 19, "control {control_hits}/20");
+    }
+
+    #[test]
+    fn selection_adapts_after_first_packet() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 20.0, ..Default::default() }, 3);
+        let bootstrap = s.selected_subcarriers().to_vec();
+        let r = s.send_packet(&[1; 400], &bits(8));
+        assert!(r.data_ok);
+        // After EVM feedback the selection is recomputed (it may or may
+        // not equal the bootstrap, but it must be valid and big enough).
+        assert!(s.selected_subcarriers().len() >= 6);
+        assert!(s.selected_subcarriers().iter().all(|&sc| sc < NUM_DATA));
+        let _ = bootstrap;
+    }
+
+    #[test]
+    fn rate_adaptation_tracks_snr() {
+        let mut high = CosSession::new(SessionConfig { snr_db: 26.0, ..Default::default() }, 11);
+        let mut low = CosSession::new(SessionConfig { snr_db: 8.0, ..Default::default() }, 11);
+        for _ in 0..3 {
+            high.send_packet(&[0; 200], &bits(4));
+            low.send_packet(&[0; 200], &bits(4));
+        }
+        assert!(high.current_rate() > low.current_rate());
+    }
+
+    #[test]
+    fn fixed_rate_is_respected() {
+        let cfg = SessionConfig { rate: Some(DataRate::Mbps18), snr_db: 25.0, ..Default::default() };
+        let mut s = CosSession::new(cfg, 5);
+        for _ in 0..3 {
+            let r = s.send_packet(&[0; 200], &bits(4));
+            assert_eq!(r.rate, DataRate::Mbps18);
+        }
+    }
+
+    #[test]
+    fn report_counts_silences() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 22.0, ..Default::default() }, 9);
+        let msg = bits(12); // 3 groups → 4 silences
+        let r = s.send_packet(&[0; 300], &msg);
+        assert_eq!(r.silences_sent, 4);
+    }
+
+    #[test]
+    fn empty_control_message_still_sends_marker() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 22.0, ..Default::default() }, 13);
+        // Warm up: the bootstrap selection is blind to the channel, so
+        // the first packet only establishes EVM/SNR feedback. Use a
+        // realistically sized packet — EVM feedback from a 4-symbol frame
+        // is too noisy to select subcarriers from.
+        s.send_packet(&[0; 600], &[]);
+        let r = s.send_packet(&[0; 600], &[]);
+        assert_eq!(r.silences_sent, 1);
+        assert!(r.data_ok);
+        assert_eq!(r.control_bits, Some(vec![]));
+    }
+
+    #[test]
+    fn clamp_selection_sanitises() {
+        let mut sel = vec![50, 3, 3, 12];
+        clamp_selection(&mut sel);
+        assert_eq!(sel, vec![3, 12]);
+    }
+
+    #[test]
+    fn silence_budget_is_positive() {
+        let s = CosSession::new(SessionConfig::default(), 1);
+        assert!(s.silence_budget(1024) > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Decibel and dBm conversions.
+//!
+//! All power quantities in the simulator are linear (milliwatt-scaled)
+//! internally; the experiment harness converts at the edges using these
+//! helpers, mirroring how the paper reports SNRs in dB and detection
+//! thresholds in dBm.
+
+/// Converts a linear power ratio to decibels: `10·log10(x)`.
+///
+/// Returns `-inf` for `x == 0`, propagating `f64` semantics.
+///
+/// ```
+/// use cos_dsp::linear_to_db;
+/// assert_eq!(linear_to_db(100.0), 20.0);
+/// ```
+#[inline]
+pub fn linear_to_db(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Converts decibels to a linear power ratio: `10^(db/10)`.
+///
+/// ```
+/// use cos_dsp::db_to_linear;
+/// assert!((db_to_linear(3.0) - 1.9952623).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a power in milliwatts to dBm.
+///
+/// ```
+/// use cos_dsp::mw_to_dbm;
+/// assert_eq!(mw_to_dbm(1.0), 0.0);
+/// ```
+#[inline]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    linear_to_db(mw)
+}
+
+/// Converts a power in dBm to milliwatts.
+///
+/// ```
+/// use cos_dsp::dbm_to_mw;
+/// assert_eq!(dbm_to_mw(0.0), 1.0);
+/// ```
+#[inline]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    db_to_linear(dbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for &x in &[0.001, 0.5, 1.0, 3.7, 1e6] {
+            assert!((db_to_linear(linear_to_db(x)) - x).abs() / x < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(linear_to_db(1.0), 0.0);
+        assert_eq!(linear_to_db(10.0), 10.0);
+        assert!((linear_to_db(2.0) - 3.0103).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dbm_matches_milliwatt_convention() {
+        assert_eq!(dbm_to_mw(30.0), 1000.0);
+        assert!((mw_to_dbm(1e-9) + 90.0).abs() < 1e-9); // -90 dBm noise-floor scale
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,272 @@
+//! In-place radix-2 decimation-in-time FFT and IFFT.
+//!
+//! 802.11a OFDM uses 64-point transforms; this implementation supports any
+//! power-of-two length so the tests can cross-check against a direct DFT at
+//! several sizes. Twiddle factors for the 64-point case dominate the
+//! simulator's hot path, so a per-call twiddle table is precomputed once per
+//! length by [`Fft::new`]; the free functions [`fft`]/[`ifft`] are convenience
+//! wrappers that build a plan on the fly.
+//!
+//! # Conventions
+//!
+//! The forward transform computes `X[k] = Σ_n x[n]·e^{-i2πkn/N}` (no
+//! normalisation); the inverse computes `x[n] = (1/N)·Σ_k X[k]·e^{+i2πkn/N}`,
+//! matching Eq. (3)/(4) of the CoS paper where the transmitter IFFT carries
+//! the `1/N` factor.
+
+use crate::complex::Complex;
+
+/// A reusable FFT plan for a fixed power-of-two length.
+///
+/// # Examples
+///
+/// ```
+/// use cos_dsp::{Complex, fft::Fft};
+///
+/// let plan = Fft::new(64);
+/// let mut buf = vec![Complex::ONE; 64];
+/// plan.forward(&mut buf);
+/// // A constant signal concentrates on bin 0.
+/// assert!((buf[0].re - 64.0).abs() < 1e-9);
+/// assert!(buf[1].norm() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Twiddles `e^{-i2πj/N}` for `j in 0..N/2` (forward direction).
+    twiddles: Vec<Complex>,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|j| Complex::from_angle(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Fft { n, twiddles, rev }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the plan length is zero (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT (no normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse DFT including the `1/N` normalisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.transform(buf, true);
+        let scale = 1.0 / self.n as f64;
+        for x in buf.iter_mut() {
+            *x = x.scale(scale);
+        }
+    }
+
+    fn transform(&self, buf: &mut [Complex], inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length {} != plan length {}", buf.len(), self.n);
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Iterative Cooley–Tukey butterflies.
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT; builds a plan internally.
+///
+/// Prefer constructing an [`Fft`] plan once in loops.
+///
+/// # Panics
+///
+/// Panics if the length is zero or not a power of two.
+pub fn fft(buf: &mut [Complex]) {
+    Fft::new(buf.len()).forward(buf);
+}
+
+/// One-shot inverse FFT (with `1/N` normalisation); builds a plan internally.
+///
+/// # Panics
+///
+/// Panics if the length is zero or not a power of two.
+pub fn ifft(buf: &mut [Complex]) {
+    Fft::new(buf.len()).inverse(buf);
+}
+
+/// Direct O(N²) DFT used as a reference in tests and available for
+/// cross-checking. Computes the same (unnormalised) forward transform as
+/// [`Fft::forward`].
+pub fn dft_reference(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| {
+                    input[t]
+                        * Complex::from_angle(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex], b: &[Complex]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut buf = vec![Complex::ZERO; 16];
+        buf[0] = Complex::ONE;
+        fft(&mut buf);
+        for x in &buf {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_its_bin() {
+        let n = 64;
+        let k0 = 7;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_angle(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        fft(&mut buf);
+        for (k, x) in buf.iter().enumerate() {
+            if k == k0 {
+                assert!((x.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(x.norm() < 1e-9, "leakage at bin {k}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_dft_at_multiple_sizes() {
+        for &n in &[2usize, 4, 8, 32, 64, 128] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.71).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let expect = dft_reference(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &expect) < 1e-9, "mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 64;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut buf = input.clone();
+        let plan = Fft::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        assert!(max_err(&buf, &input) < 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((3 * i % 7) as f64 - 3.0, (5 * i % 11) as f64 - 5.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(|x| x.norm_sqr()).sum();
+        let mut buf = input;
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|x| x.norm_sqr()).sum();
+        assert!((freq_energy - n as f64 * time_energy).abs() / freq_energy < 1e-12);
+    }
+
+    #[test]
+    fn ifft_normalisation_is_one_over_n() {
+        // IFFT of a flat spectrum of ones is a unit impulse.
+        let mut buf = vec![Complex::ONE; 32];
+        ifft(&mut buf);
+        assert!((buf[0].re - 1.0).abs() < 1e-12);
+        for x in &buf[1..] {
+            assert!(x.norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 16;
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i * i) as f64 % 5.0, 1.0)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let (mut fa, mut fb, mut fs) = (a.clone(), b.clone(), sum.clone());
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        let combined: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fs, &combined) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let plan = Fft::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded Gaussian noise sources.
+//!
+//! AWGN and Rayleigh fading both need standard-normal draws. The simulator
+//! keeps its dependency surface small by generating them with the Box–Muller
+//! transform over [`rand`]'s uniform source instead of pulling in
+//! `rand_distr`. Every source is explicitly seeded so experiments are
+//! reproducible.
+
+use crate::complex::Complex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of Gaussian (and circularly-symmetric complex Gaussian)
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use cos_dsp::GaussianSource;
+///
+/// let mut g = GaussianSource::new(42);
+/// let x = g.standard_normal();
+/// let z = g.complex_normal(2.0); // E[|z|²] = 2.0
+/// assert!(x.is_finite() && z.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianSource {
+    rng: StdRng,
+    /// Box–Muller produces samples in pairs; the spare is cached here.
+    spare: Option<f64>,
+}
+
+impl GaussianSource {
+    /// Creates a source from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        GaussianSource {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Draws one standard-normal sample (mean 0, variance 1).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box–Muller: u1 in (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a real Gaussian with the given variance.
+    pub fn normal(&mut self, variance: f64) -> f64 {
+        self.standard_normal() * variance.sqrt()
+    }
+
+    /// Draws a circularly-symmetric complex Gaussian with total variance
+    /// `variance`, i.e. `E[|z|²] = variance` (each quadrature carries half).
+    pub fn complex_normal(&mut self, variance: f64) -> Complex {
+        let s = (variance / 2.0).sqrt();
+        Complex::new(self.standard_normal() * s, self.standard_normal() * s)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`. Exposed so channel models can share
+    /// one seeded stream for both Gaussian and uniform needs.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_index needs a non-empty range");
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let mut a = GaussianSource::new(7);
+        let mut b = GaussianSource::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianSource::new(1);
+        let mut b = GaussianSource::new(2);
+        let same = (0..32).filter(|_| a.standard_normal() == b.standard_normal()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn moments_are_approximately_standard() {
+        let mut g = GaussianSource::new(123);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn complex_normal_energy_matches_variance() {
+        let mut g = GaussianSource::new(99);
+        let n = 100_000;
+        let target = 3.5;
+        let energy: f64 = (0..n).map(|_| g.complex_normal(target).norm_sqr()).sum::<f64>() / n as f64;
+        assert!((energy - target).abs() / target < 0.03, "energy={energy}");
+    }
+
+    #[test]
+    fn complex_normal_quadratures_uncorrelated() {
+        let mut g = GaussianSource::new(5);
+        let n = 100_000;
+        let mut cross = 0.0;
+        for _ in 0..n {
+            let z = g.complex_normal(1.0);
+            cross += z.re * z.im;
+        }
+        assert!((cross / n as f64).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_index_in_range() {
+        let mut g = GaussianSource::new(4);
+        for _ in 0..1000 {
+            assert!(g.uniform_index(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_index_zero_panics() {
+        GaussianSource::new(0).uniform_index(0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation: CoS versus an interference-margin (hJam/Flashback-style)
+//! flash side channel (paper SV).
+
+use cos_experiments::{ablation, table};
+
+fn main() {
+    let cfg = ablation::Config::default();
+    table::emit(&[ablation::run_baseline_comparison(&cfg)]);
+}

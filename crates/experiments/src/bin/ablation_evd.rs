@@ -1,0 +1,9 @@
+//! Ablation: erasure Viterbi decoding versus error-only decoding
+//! (paper SIII-E).
+
+use cos_experiments::{ablation, table};
+
+fn main() {
+    let cfg = ablation::Config::default();
+    table::emit(&[ablation::run_evd(&cfg)]);
+}

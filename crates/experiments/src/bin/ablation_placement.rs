@@ -1,0 +1,9 @@
+//! Ablation: weak-subcarrier versus random silence placement
+//! (paper SII-D).
+
+use cos_experiments::{ablation, table};
+
+fn main() {
+    let cfg = ablation::Config::default();
+    table::emit(&[ablation::run_placement(&cfg)]);
+}

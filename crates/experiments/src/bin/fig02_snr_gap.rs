@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 2: the SNR gap between the minimum
+//! required SNR of the selected rate and the actual channel SNR.
+
+use cos_experiments::{fig02, table};
+
+fn main() {
+    let cfg = fig02::Config::default();
+    table::emit(&[fig02::run(&cfg)]);
+}

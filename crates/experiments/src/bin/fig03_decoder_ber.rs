@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 3: decoder-input BER and redundant BER
+//! versus measured SNR at 24 Mbps.
+
+use cos_experiments::{fig03, table};
+
+fn main() {
+    let cfg = fig03::Config::default();
+    table::emit(&[fig03::run(&cfg)]);
+}

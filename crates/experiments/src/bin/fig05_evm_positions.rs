@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 5: per-subcarrier EVM at three indoor
+//! positions.
+
+use cos_experiments::{fig05, table};
+
+fn main() {
+    let cfg = fig05::Config::default();
+    table::emit(&[fig05::run(&cfg)]);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 6: the distribution of symbol errors
+//! within a data packet and the per-subcarrier symbol error rate.
+
+use cos_experiments::{fig06, table};
+
+fn main() {
+    let cfg = fig06::Config::default();
+    table::emit(&fig06::run(&cfg));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 7: temporal selectivity — EVM snapshots
+//! over time gaps and the CDF of the normalised EVM change.
+
+use cos_experiments::{fig07, table};
+
+fn main() {
+    let cfg = fig07::Config::default();
+    table::emit(&fig07::run(&cfg));
+}

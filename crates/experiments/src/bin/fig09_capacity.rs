@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 9: the capacity of free control messages
+//! (maximum silence symbols per second at PRR >= 99.3%).
+
+use cos_experiments::{fig09, table};
+
+fn main() {
+    let cfg = fig09::Config::default();
+    table::emit(&[fig09::run(&cfg)]);
+}

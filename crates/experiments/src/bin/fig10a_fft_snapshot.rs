@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 10(a): relative FFT magnitudes of the 52
+//! used subcarriers with silences on data subcarriers 10/11/17.
+
+use cos_experiments::{fig10, table};
+
+fn main() {
+    let cfg = fig10::Config::default();
+    table::emit(&[fig10::run_snapshot(&cfg)]);
+}

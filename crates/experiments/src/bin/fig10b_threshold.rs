@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 10(b): false probabilities versus the
+//! energy-detection threshold in dBm at ~9.2 dB.
+
+use cos_experiments::{fig10, table};
+
+fn main() {
+    let cfg = fig10::Config::default();
+    table::emit(&[fig10::run_threshold_sweep(&cfg)]);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 10(c): false probabilities versus SNR
+//! with the adaptive detection threshold.
+
+use cos_experiments::{fig10, table};
+
+fn main() {
+    let cfg = fig10::Config::default();
+    table::emit(&[fig10::run_snr_sweep(&cfg)]);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 10(d): the impact of strong pulse
+//! interference on the false-negative probability.
+
+use cos_experiments::{fig10, table};
+
+fn main() {
+    let cfg = fig10::Config::default();
+    table::emit(&[fig10::run_interference(&cfg)]);
+}

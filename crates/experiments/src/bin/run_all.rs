@@ -1,0 +1,32 @@
+//! Runs every figure experiment at full fidelity and writes all CSVs
+//! under `results/`. Expect several minutes of runtime in release mode.
+
+use cos_experiments::{ablation, fig02, fig03, fig05, fig06, fig07, fig09, fig10, table};
+
+fn main() {
+    println!("== Fig. 2: SNR gap ==");
+    table::emit(&[fig02::run(&fig02::Config::default())]);
+    println!("== Fig. 3: decoder-input BER ==");
+    table::emit(&[fig03::run(&fig03::Config::default())]);
+    println!("== Fig. 5: per-subcarrier EVM ==");
+    table::emit(&[fig05::run(&fig05::Config::default())]);
+    println!("== Fig. 6: symbol-error pattern ==");
+    table::emit(&fig06::run(&fig06::Config::default()));
+    println!("== Fig. 7: temporal selectivity ==");
+    table::emit(&fig07::run(&fig07::Config::default()));
+    println!("== Fig. 9: control-message capacity ==");
+    table::emit(&[fig09::run(&fig09::Config::default())]);
+    let f10 = fig10::Config::default();
+    println!("== Fig. 10: detection accuracy ==");
+    table::emit(&[
+        fig10::run_snapshot(&f10),
+        fig10::run_threshold_sweep(&f10),
+        fig10::run_snr_sweep(&f10),
+        fig10::run_interference(&f10),
+    ]);
+    println!("== Ablations ==");
+    table::emit(&[
+        ablation::run_evd(&ablation::Config::default()),
+        ablation::run_placement(&ablation::Config::default()),
+    ]);
+}

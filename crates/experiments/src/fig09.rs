@@ -1,0 +1,148 @@
+//! Fig. 9 — the capacity of free control messages: the maximum number of
+//! silence symbols per second (`Rm`) that keeps the packet reception rate
+//! at or above 99.3 %, as a function of measured SNR across the six data
+//! rates of 12–54 Mbps.
+
+use crate::harness::{max_silence_rate, paper_channel, probe_channel, TrialConfig};
+use crate::table::{fmt, Table};
+use cos_channel::Link;
+use cos_phy::rates::DataRate;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Nominal link SNRs to sweep (dB).
+    pub snr_grid: Vec<f64>,
+    /// Channel realisations per SNR point.
+    pub seeds_per_point: u64,
+    /// Packets per PRR evaluation (paper resolution needs ≥ 300).
+    pub packets: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            snr_grid: (5..=25).map(|i| i as f64).collect(),
+            seeds_per_point: 4,
+            packets: 120,
+        }
+    }
+}
+
+impl Config {
+    /// A fast version for integration tests.
+    pub fn quick() -> Self {
+        Config { snr_grid: vec![9.0, 16.0], seeds_per_point: 1, packets: 15 }
+    }
+}
+
+/// One measured capacity point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// NIC-measured SNR (dB).
+    pub measured_snr_db: f64,
+    /// The rate the adaptation scheme selected.
+    pub rate: DataRate,
+    /// Maximum silence symbols per second at PRR ≥ 99.3 %.
+    pub rm: f64,
+    /// Maximum silence symbols per packet.
+    pub per_packet: usize,
+    /// Control delivery rate at the found Rm.
+    pub control_ok: f64,
+}
+
+/// Runs the sweep, one capacity search per (SNR, seed).
+pub fn collect(cfg: &Config) -> Vec<Point> {
+    let mut points = Vec::new();
+    for (i, &snr) in cfg.snr_grid.iter().enumerate() {
+        for seed in 0..cfg.seeds_per_point {
+            let rng_seed = seed * 104_729 + i as u64;
+            let mut link = Link::new(paper_channel(), snr, rng_seed);
+            let probe = probe_channel(&mut link);
+            let rate = probe.selected_rate;
+            if !DataRate::FIG9_RATES.contains(&rate) {
+                // Below the 12 Mbps band: outside the paper's sweep.
+                continue;
+            }
+            let base = TrialConfig::paper(rate, 0);
+            let point = max_silence_rate(&mut link, &base, cfg.packets, rng_seed + 1);
+            points.push(Point {
+                measured_snr_db: point.measured_snr_db,
+                rate,
+                rm: point.rm_per_second,
+                per_packet: point.silences_per_packet,
+                control_ok: point.control_ok_rate,
+            });
+        }
+    }
+    points.sort_by(|a, b| a.measured_snr_db.total_cmp(&b.measured_snr_db));
+    points
+}
+
+/// Runs the sweep and renders the Rm table, aggregated by (rate, 1 dB
+/// measured-SNR bin) to average out per-position variance.
+pub fn run(cfg: &Config) -> Table {
+    let points = collect(cfg);
+    let mut table = Table::new(
+        "fig09_capacity",
+        "maximum silence symbols per second (Rm) vs measured SNR, PRR >= 99.3%",
+        &[
+            "measured_snr_db",
+            "rate",
+            "modulation_code",
+            "rm_per_second",
+            "silences_per_packet",
+            "control_ok",
+            "samples",
+        ],
+    );
+    // Group by (rate, floor(measured)).
+    let mut groups: std::collections::BTreeMap<(u32, i64), Vec<&Point>> =
+        std::collections::BTreeMap::new();
+    for p in &points {
+        groups
+            .entry((p.rate.mbps(), p.measured_snr_db.floor() as i64))
+            .or_default()
+            .push(p);
+    }
+    let mut rows: Vec<((i64, u32), Vec<String>)> = Vec::new();
+    for ((mbps, bin), group) in groups {
+        let n = group.len() as f64;
+        let measured = group.iter().map(|p| p.measured_snr_db).sum::<f64>() / n;
+        let rm = group.iter().map(|p| p.rm).sum::<f64>() / n;
+        let per_packet = group.iter().map(|p| p.per_packet as f64).sum::<f64>() / n;
+        let control = group.iter().map(|p| p.control_ok).sum::<f64>() / n;
+        let rate = group[0].rate;
+        rows.push((
+            (bin, mbps),
+            vec![
+                fmt(measured, 1),
+                format!("{mbps}Mbps"),
+                format!("({},{})", rate.modulation(), rate.code_rate()),
+                fmt(rm, 0),
+                fmt(per_packet, 0),
+                fmt(control, 2),
+                group.len().to_string(),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, row) in rows {
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_positive_in_band() {
+        let points = collect(&Config::quick());
+        assert!(!points.is_empty(), "sweep produced no in-band points");
+        for p in &points {
+            assert!(p.rm > 0.0, "Rm must be positive at {} dB", p.measured_snr_db);
+        }
+    }
+}

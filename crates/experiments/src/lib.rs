@@ -1,0 +1,30 @@
+//! The experiment harness reproducing every measurement figure of the CoS
+//! paper (ICDCS 2017).
+//!
+//! Each `figNN` module regenerates one figure of the paper's evaluation as
+//! a [`table::Table`]; the matching binary in `src/bin` prints it and
+//! writes a CSV under `results/`. Every module exposes a `Config` with a
+//! `Default` (full fidelity) and a `Config::quick()` used by integration
+//! tests to keep CI fast.
+//!
+//! | Module | Paper figure | Content |
+//! |---|---|---|
+//! | [`fig02`] | Fig. 2 | SNR gap: measured vs actual vs minimum-required |
+//! | [`fig03`] | Fig. 3 | decoder-input BER and redundant BER at 24 Mbps |
+//! | [`fig05`] | Fig. 5 | per-subcarrier EVM at three positions |
+//! | [`fig06`] | Fig. 6 | symbol-error frequency by position; per-subcarrier SER |
+//! | [`fig07`] | Fig. 7 | temporal selectivity: EVM snapshots and ∇EVM CDF |
+//! | [`fig09`] | Fig. 9 | maximum silence rate Rm vs measured SNR, six rates |
+//! | [`fig10`] | Fig. 10 | FFT snapshot, threshold sweep, detection vs SNR, interference |
+//! | [`ablation`] | §II-D/III-E claims | EVD vs error-only; weak vs random placement |
+
+pub mod ablation;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod harness;
+pub mod table;

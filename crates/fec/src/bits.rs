@@ -1,0 +1,132 @@
+//! LSB-first bit packing.
+//!
+//! IEEE 802.11 serialises each octet least-significant bit first; every
+//! bit vector in this workspace follows that convention. Bits are stored one
+//! per `u8` with values 0/1 — wasteful but transparent, and the simulator is
+//! bound by FFT/Viterbi cost, not bit storage.
+
+/// Expands bytes into bits, LSB of each byte first.
+///
+/// ```
+/// use cos_fec::bits::bytes_to_bits;
+/// assert_eq!(bytes_to_bits(&[0b0000_0101]), vec![1, 0, 1, 0, 0, 0, 0, 0]);
+/// ```
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &byte in bytes {
+        for i in 0..8 {
+            bits.push((byte >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB-first per byte) back into bytes.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of 8 or any value is not 0/1.
+///
+/// ```
+/// use cos_fec::bits::{bits_to_bytes, bytes_to_bits};
+/// let bytes = vec![0xA5, 0x3C];
+/// assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+/// ```
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert!(bits.len().is_multiple_of(8), "bit count {} is not a whole number of octets", bits.len());
+    bits.chunks_exact(8)
+        .map(|chunk| {
+            chunk.iter().enumerate().fold(0u8, |byte, (i, &b)| {
+                assert!(b <= 1, "bit values must be 0 or 1, got {b}");
+                byte | (b << i)
+            })
+        })
+        .collect()
+}
+
+/// Writes the low `width` bits of `value` into a bit vector, LSB first.
+pub fn push_field(bits: &mut Vec<u8>, value: u32, width: usize) {
+    assert!(width <= 32, "field width {width} exceeds u32");
+    for i in 0..width {
+        bits.push(((value >> i) & 1) as u8);
+    }
+}
+
+/// Reads a `width`-bit LSB-first field starting at `offset`.
+///
+/// # Panics
+///
+/// Panics if the field extends past the end of `bits`.
+pub fn read_field(bits: &[u8], offset: usize, width: usize) -> u32 {
+    assert!(width <= 32, "field width {width} exceeds u32");
+    assert!(offset + width <= bits.len(), "field [{offset}, {}) out of range", offset + width);
+    (0..width).fold(0u32, |v, i| v | ((bits[offset + i] as u32) << i))
+}
+
+/// Counts positions where two equal-length bit slices differ.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance of unequal-length slices");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_first_expansion() {
+        assert_eq!(bytes_to_bits(&[0x01]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(bytes_to_bits(&[0x80]), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "octets")]
+    fn ragged_length_panics() {
+        bits_to_bytes(&[1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn invalid_bit_value_panics() {
+        bits_to_bytes(&[2, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut bits = Vec::new();
+        push_field(&mut bits, 0xABC, 12);
+        push_field(&mut bits, 0x3, 2);
+        assert_eq!(bits.len(), 14);
+        assert_eq!(read_field(&bits, 0, 12), 0xABC);
+        assert_eq!(read_field(&bits, 12, 2), 0x3);
+    }
+
+    #[test]
+    fn field_is_lsb_first() {
+        let mut bits = Vec::new();
+        push_field(&mut bits, 0b110, 3);
+        assert_eq!(bits, vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn read_past_end_panics() {
+        read_field(&[0, 1], 1, 2);
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(hamming_distance(&[0, 1, 1, 0], &[0, 1, 1, 0]), 0);
+        assert_eq!(hamming_distance(&[0, 1, 1, 0], &[1, 1, 0, 0]), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! CRC-32 — the IEEE 802.11 frame check sequence (FCS).
+//!
+//! Standard reflected CRC-32 (polynomial `0x04C11DB7`, init `0xFFFFFFFF`,
+//! final XOR `0xFFFFFFFF`), identical to the CRC of Ethernet and zlib. The
+//! CoS receiver computes per-subcarrier EVM only for frames that pass this
+//! check (paper §III-D), because only then are the transmitted
+//! constellation points known.
+
+/// A table-driven CRC-32 engine.
+///
+/// # Examples
+///
+/// ```
+/// use cos_fec::Crc32;
+///
+/// let crc = Crc32::new();
+/// assert_eq!(crc.checksum(b"123456789"), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    table: [u32; 256],
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Reflected polynomial of `0x04C11DB7`.
+    pub const POLY_REFLECTED: u32 = 0xEDB8_8320;
+
+    /// Builds the 256-entry lookup table.
+    pub fn new() -> Self {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ Self::POLY_REFLECTED
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        Crc32 { table }
+    }
+
+    /// Computes the CRC-32 of `data`.
+    pub fn checksum(&self, data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &byte in data {
+            crc = (crc >> 8) ^ self.table[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        !crc
+    }
+
+    /// Appends the 4-byte FCS (little-endian, as transmitted) to a payload.
+    pub fn append(&self, payload: &[u8]) -> Vec<u8> {
+        let mut framed = payload.to_vec();
+        framed.extend_from_slice(&self.checksum(payload).to_le_bytes());
+        framed
+    }
+
+    /// Checks a frame whose last 4 bytes are the FCS; returns the payload on
+    /// success.
+    pub fn verify<'a>(&self, framed: &'a [u8]) -> Option<&'a [u8]> {
+        if framed.len() < 4 {
+            return None;
+        }
+        let (payload, fcs) = framed.split_at(framed.len() - 4);
+        let expect = self.checksum(payload).to_le_bytes();
+        (fcs == expect).then_some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        assert_eq!(Crc32::new().checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(Crc32::new().checksum(b""), 0);
+    }
+
+    #[test]
+    fn append_verify_roundtrip() {
+        let crc = Crc32::new();
+        let payload = b"the quick brown fox".to_vec();
+        let framed = crc.append(&payload);
+        assert_eq!(framed.len(), payload.len() + 4);
+        assert_eq!(crc.verify(&framed), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn detects_single_bit_errors_anywhere() {
+        let crc = Crc32::new();
+        let payload: Vec<u8> = (0..64).collect();
+        let framed = crc.append(&payload);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupted = framed.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(crc.verify(&corrupted).is_none(), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_swapped_bytes() {
+        let crc = Crc32::new();
+        let framed = crc.append(b"abcdef");
+        let mut swapped = framed.clone();
+        swapped.swap(1, 3);
+        assert!(crc.verify(&swapped).is_none());
+    }
+
+    #[test]
+    fn too_short_frame_fails() {
+        assert!(Crc32::new().verify(&[1, 2, 3]).is_none());
+    }
+}

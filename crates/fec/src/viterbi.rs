@@ -1,0 +1,308 @@
+//! Soft-decision Viterbi decoding of the 802.11a convolutional code, with
+//! native erasure support (EVD).
+//!
+//! # LLR convention
+//!
+//! A soft input `llr[i] > 0` means coded bit `i` is more likely **0**;
+//! `llr[i] < 0` means more likely **1**; `llr[i] == 0` is an **erasure** —
+//! the bit contributes nothing to any path metric. Erasures arise from
+//! three sources that all compose through the same mechanism:
+//!
+//! 1. de-puncturing (positions the transmitter never sent),
+//! 2. CoS silence symbols flagged by the energy detector (paper Eq. 7),
+//! 3. any upstream processing that wants to neutralise a bit.
+//!
+//! This is precisely the paper's erasure Viterbi decoding: "the proposed
+//! EVD does not modify the existing Viterbi decoder, but only the
+//! calculation of bit metrics" — the add-compare-select kernel below is a
+//! textbook Viterbi.
+//!
+//! # Hard decisions
+//!
+//! [`ViterbiDecoder::decode_hard`] converts hard bits to ±1 LLRs, giving
+//! the classical error-only decoder used by the `ablation_evd` experiment.
+
+use crate::conv::{branch_output, next_state, STATES};
+
+/// A soft-decision Viterbi decoder for the 133/171 rate-1/2 code.
+///
+/// The decoder is stateless between calls; construct once and reuse.
+///
+/// # Examples
+///
+/// ```
+/// use cos_fec::{ConvEncoder, ViterbiDecoder};
+///
+/// let mut data = vec![1, 1, 0, 1, 0, 0, 1, 0];
+/// data.extend_from_slice(&[0; 6]); // tail
+/// let coded = ConvEncoder::new().encode(&data);
+/// let mut llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+/// llrs[3] = 0.0; // erase one coded bit — EVD bridges it
+/// llrs[10] = -llrs[10]; // flip another — classical error correction
+/// assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiDecoder {
+    _private: (),
+}
+
+/// Branch-metric lookup: for each state and input bit, the pair of expected
+/// coded bits as ±1 values (`+1` for coded 0, `-1` for coded 1).
+fn branch_signs() -> [[(f64, f64); 2]; STATES] {
+    let mut table = [[(0.0, 0.0); 2]; STATES];
+    for (state, row) in table.iter_mut().enumerate() {
+        for (input, slot) in row.iter_mut().enumerate() {
+            let (a, b) = branch_output(state as u8, input as u8);
+            let sign = |bit: u8| if bit == 0 { 1.0 } else { -1.0 };
+            *slot = (sign(a), sign(b));
+        }
+    }
+    table
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        ViterbiDecoder::default()
+    }
+
+    /// Decodes a frame of soft coded bits (pairs `A_t B_t`, so
+    /// `llrs.len()` must be even). Returns one data bit per pair.
+    ///
+    /// If `terminated` is `true` the trellis is traced back from state 0
+    /// (the frame ended in six tail zeros); otherwise from the best final
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is odd or zero.
+    pub fn decode(&self, llrs: &[f64], terminated: bool) -> Vec<u8> {
+        assert!(!llrs.is_empty(), "cannot decode an empty frame");
+        assert!(llrs.len().is_multiple_of(2), "soft input length {} is not a whole number of (A,B) pairs", llrs.len());
+        let steps = llrs.len() / 2;
+        let signs = branch_signs();
+
+        const NEG: f64 = f64::NEG_INFINITY;
+        let mut metric = [NEG; STATES];
+        metric[0] = 0.0; // encoder starts from the zero state
+        let mut next = [NEG; STATES];
+        // survivors[t] packs, per destination state, the input bit that won.
+        let mut survivors: Vec<u64> = Vec::with_capacity(steps);
+        // Track the predecessor implicitly: dest = (input<<5)|(src>>1), so
+        // src = ((dest & 0x1F) << 1) | prev_lsb; we store the winning
+        // prev_lsb per destination state in a second bitset.
+        let mut prev_lsbs: Vec<u64> = Vec::with_capacity(steps);
+
+        for t in 0..steps {
+            let la = llrs[2 * t];
+            let lb = llrs[2 * t + 1];
+            next.fill(NEG);
+            let mut surv_bits = 0u64;
+            let mut lsb_bits = 0u64;
+            #[allow(clippy::needless_range_loop)] // src/input double loop reads several tables
+            for src in 0..STATES {
+                let m = metric[src];
+                if m == NEG {
+                    continue;
+                }
+                for input in 0..2 {
+                    let (sa, sb) = signs[src][input];
+                    let cand = m + sa * la + sb * lb;
+                    let dest = next_state(src as u8, input as u8) as usize;
+                    if cand > next[dest] {
+                        next[dest] = cand;
+                        if input == 1 {
+                            surv_bits |= 1 << dest;
+                        } else {
+                            surv_bits &= !(1 << dest);
+                        }
+                        if src & 1 == 1 {
+                            lsb_bits |= 1 << dest;
+                        } else {
+                            lsb_bits &= !(1 << dest);
+                        }
+                    }
+                }
+            }
+            survivors.push(surv_bits);
+            prev_lsbs.push(lsb_bits);
+            metric = next;
+        }
+
+        // Choose the traceback start state.
+        let mut state = if terminated {
+            0usize
+        } else {
+            metric
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("metrics are never NaN"))
+                .map(|(s, _)| s)
+                .expect("STATES > 0")
+        };
+
+        // Trace back.
+        let mut decoded = vec![0u8; steps];
+        for t in (0..steps).rev() {
+            let input = ((survivors[t] >> state) & 1) as u8;
+            let prev_lsb = ((prev_lsbs[t] >> state) & 1) as usize;
+            decoded[t] = input;
+            state = ((state & 0x1F) << 1) | prev_lsb;
+        }
+        decoded
+    }
+
+    /// Decodes hard bits (0/1) by mapping them to ±1 LLRs — the classical
+    /// error-only decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is not 0/1, or on the length conditions of
+    /// [`ViterbiDecoder::decode`].
+    pub fn decode_hard(&self, bits: &[u8], terminated: bool) -> Vec<u8> {
+        let llrs: Vec<f64> = bits
+            .iter()
+            .map(|&b| {
+                assert!(b <= 1, "hard bits must be 0 or 1, got {b}");
+                if b == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        self.decode(&llrs, terminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ConvEncoder;
+
+    fn frame(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        let mut data: Vec<u8> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 62) & 1) as u8
+            })
+            .collect();
+        data.extend_from_slice(&[0; 6]);
+        data
+    }
+
+    fn ideal_llrs(coded: &[u8]) -> Vec<f64> {
+        coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let data = frame(120, 42);
+        let coded = ConvEncoder::new().encode(&data);
+        assert_eq!(ViterbiDecoder::new().decode(&ideal_llrs(&coded), true), data);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_flips() {
+        let data = frame(200, 7);
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs = ideal_llrs(&coded);
+        // Flip well-separated bits: free distance 10 ⇒ isolated flips are
+        // always correctable.
+        for i in (0..llrs.len()).step_by(41) {
+            llrs[i] = -llrs[i];
+        }
+        assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+    }
+
+    #[test]
+    fn bridges_scattered_erasures() {
+        let data = frame(200, 9);
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs = ideal_llrs(&coded);
+        for i in (0..llrs.len()).step_by(13) {
+            llrs[i] = 0.0;
+        }
+        assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+    }
+
+    #[test]
+    fn erasures_are_cheaper_than_errors() {
+        // A burst of E erasures is survivable when a burst of E errors is
+        // not: erasures remove information, errors inject wrong information.
+        let data = frame(100, 3);
+        let coded = ConvEncoder::new().encode(&data);
+        let dec = ViterbiDecoder::new();
+
+        let burst = 8;
+        let start = 60;
+
+        let mut erased = ideal_llrs(&coded);
+        for l in erased.iter_mut().skip(start).take(burst) {
+            *l = 0.0;
+        }
+        assert_eq!(dec.decode(&erased, true), data, "erasure burst of {burst} must decode");
+
+        let mut flipped = ideal_llrs(&coded);
+        for l in flipped.iter_mut().skip(start).take(burst) {
+            *l = -*l;
+        }
+        assert_ne!(dec.decode(&flipped, true), data, "error burst of {burst} should break decoding");
+    }
+
+    #[test]
+    fn soft_confidence_is_respected() {
+        // A strongly confident wrong bit next to weakly confident correct
+        // bits: the decoder should still recover thanks to accumulated weak
+        // evidence.
+        let data = frame(64, 11);
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs: Vec<f64> = ideal_llrs(&coded).iter().map(|l| l * 0.4).collect();
+        llrs[30] = -2.0 * llrs[30].signum();
+        assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+    }
+
+    #[test]
+    fn unterminated_traceback_works() {
+        let mut data = frame(80, 5);
+        // Strip tail: frame() appended zeros; replace with live data so the
+        // final state is arbitrary.
+        let len = data.len();
+        data[len - 6..].copy_from_slice(&[1, 0, 1, 1, 0, 1]);
+        let coded = ConvEncoder::new().encode(&data);
+        let decoded = ViterbiDecoder::new().decode(&ideal_llrs(&coded), false);
+        // The last few bits may be unreliable without termination, but the
+        // body must match.
+        assert_eq!(&decoded[..len - 6], &data[..len - 6]);
+    }
+
+    #[test]
+    fn hard_decode_matches_soft_on_clean_input() {
+        let data = frame(100, 13);
+        let coded = ConvEncoder::new().encode(&data);
+        let dec = ViterbiDecoder::new();
+        assert_eq!(dec.decode_hard(&coded, true), data);
+    }
+
+    #[test]
+    fn all_erased_frame_decodes_to_some_valid_word() {
+        // With zero information every path ties; the decoder must still
+        // return a well-formed output (all-zeros wins ties from state 0).
+        let llrs = vec![0.0; 120];
+        let decoded = ViterbiDecoder::new().decode(&llrs, true);
+        assert_eq!(decoded.len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        ViterbiDecoder::new().decode(&[], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs")]
+    fn odd_input_panics() {
+        ViterbiDecoder::new().decode(&[1.0; 7], true);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the FEC stack.
+
+use cos_fec::bits::{bits_to_bytes, bytes_to_bits};
+use cos_fec::{CodeRate, ConvEncoder, Crc32, Interleaver, Scrambler, ViterbiDecoder};
+use proptest::prelude::*;
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=1, 1..max_len)
+}
+
+fn ideal_llrs(coded: &[u8]) -> Vec<f64> {
+    coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+}
+
+proptest! {
+    #[test]
+    fn bytes_bits_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    fn scrambler_is_involution(data in arb_bits(512), seed in 1u8..0x80) {
+        let once = Scrambler::new(seed).scramble(&data);
+        let twice = Scrambler::new(seed).scramble(&once);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn viterbi_inverts_encoder(mut data in arb_bits(300)) {
+        data.extend_from_slice(&[0; 6]);
+        let coded = ConvEncoder::new().encode(&data);
+        let decoded = ViterbiDecoder::new().decode(&ideal_llrs(&coded), true);
+        prop_assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn viterbi_corrects_isolated_flips(mut data in arb_bits(200), gap in 30usize..60) {
+        data.extend_from_slice(&[0; 6]);
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs = ideal_llrs(&coded);
+        for i in (0..llrs.len()).step_by(gap) {
+            llrs[i] = -llrs[i];
+        }
+        prop_assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+    }
+
+    #[test]
+    fn punctured_roundtrip_all_rates(
+        mut data in arb_bits(150),
+        rate_idx in 0usize..3,
+    ) {
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+        data.extend_from_slice(&[0; 6]);
+        // Pad so the mother-code output aligns with the puncture period.
+        let period = rate.keep_mask().len();
+        while (data.len() * 2) % period != 0 {
+            data.push(0);
+        }
+        let coded = ConvEncoder::new().encode(&data);
+        let tx = rate.puncture(&coded);
+        let soft = rate.depuncture(&ideal_llrs(&tx));
+        prop_assert_eq!(ViterbiDecoder::new().decode(&soft, true), data);
+    }
+
+    #[test]
+    fn interleaver_roundtrip(
+        config_idx in 0usize..4,
+        block_count in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (ncbps, nbpsc) = [(48, 1), (96, 2), (192, 4), (288, 6)][config_idx];
+        let il = Interleaver::new(ncbps, nbpsc);
+        let mut x = seed;
+        let bits: Vec<u8> = (0..ncbps * block_count).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 63) & 1) as u8
+        }).collect();
+        prop_assert_eq!(il.deinterleave(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn crc_roundtrip_and_corruption(payload in proptest::collection::vec(any::<u8>(), 1..128), flip in any::<(usize, u8)>()) {
+        let crc = Crc32::new();
+        let framed = crc.append(&payload);
+        prop_assert_eq!(crc.verify(&framed), Some(payload.as_slice()));
+        let byte = flip.0 % framed.len();
+        let bit = flip.1 % 8;
+        let mut corrupted = framed.clone();
+        corrupted[byte] ^= 1 << bit;
+        prop_assert!(crc.verify(&corrupted).is_none());
+    }
+
+    #[test]
+    fn erasures_never_beat_knowledge(mut data in arb_bits(120), stride in 9usize..25) {
+        // Erasing bits at a stride the code can bridge must still decode.
+        data.extend_from_slice(&[0; 6]);
+        let coded = ConvEncoder::new().encode(&data);
+        let mut llrs = ideal_llrs(&coded);
+        for i in (0..llrs.len()).step_by(stride) {
+            llrs[i] = 0.0;
+        }
+        prop_assert_eq!(ViterbiDecoder::new().decode(&llrs, true), data);
+    }
+}

@@ -1,0 +1,222 @@
+//! Frame aggregation — "the frame aggregation scheme is adopted"
+//! (paper §IV-B).
+//!
+//! An aggregate packs several MPDUs into one PSDU behind a single PHY
+//! preamble, A-MPDU style: each subframe is a 4-byte delimiter
+//! (12-bit length, CRC-8, signature byte) followed by the MPDU (payload +
+//! FCS) and padding to a 4-byte boundary. Corruption of one subframe does
+//! not doom the rest: the de-aggregator re-synchronises by scanning for
+//! the next valid delimiter, so reception is counted per subframe — the
+//! right PRR granularity when silences consume code redundancy.
+
+use crate::error::PhyError;
+use cos_fec::Crc32;
+
+/// The delimiter signature byte (ASCII 'N', as in 802.11n).
+pub const SIGNATURE: u8 = 0x4E;
+/// Delimiter length in bytes.
+pub const DELIMITER_LEN: usize = 4;
+/// Maximum MPDU length representable in the 12-bit field.
+pub const MAX_MPDU_LEN: usize = 0xFFF;
+
+/// CRC-8 over the first two delimiter bytes (polynomial 0x07, init 0).
+fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Builds the 4-byte delimiter for an MPDU of `len` bytes.
+fn delimiter(len: usize) -> [u8; DELIMITER_LEN] {
+    debug_assert!(len <= MAX_MPDU_LEN);
+    let b0 = ((len >> 8) & 0x0F) as u8;
+    let b1 = (len & 0xFF) as u8;
+    [b0, b1, crc8(&[b0, b1]), SIGNATURE]
+}
+
+/// Parses a delimiter; returns the MPDU length if it is valid.
+fn parse_delimiter(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < DELIMITER_LEN || bytes[3] != SIGNATURE {
+        return None;
+    }
+    if crc8(&bytes[..2]) != bytes[2] {
+        return None;
+    }
+    Some(((bytes[0] as usize & 0x0F) << 8) | bytes[1] as usize)
+}
+
+/// Aggregates MPDU payloads into one PSDU. Each payload gets its own
+/// FCS, so subframes are individually verifiable.
+///
+/// # Errors
+///
+/// [`PhyError::FrameTooShort`] is never returned here; the only failure
+/// is an oversized MPDU, reported as a panic because it is a caller bug.
+///
+/// # Panics
+///
+/// Panics if any `payload + 4` exceeds [`MAX_MPDU_LEN`] or the input is
+/// empty.
+pub fn aggregate(payloads: &[Vec<u8>]) -> Vec<u8> {
+    assert!(!payloads.is_empty(), "an aggregate needs at least one MPDU");
+    let crc = Crc32::new();
+    let mut psdu = Vec::new();
+    for payload in payloads {
+        let mpdu = crc.append(payload);
+        assert!(
+            mpdu.len() <= MAX_MPDU_LEN,
+            "MPDU of {} bytes exceeds the 12-bit length field",
+            mpdu.len()
+        );
+        psdu.extend_from_slice(&delimiter(mpdu.len()));
+        psdu.extend_from_slice(&mpdu);
+        // Pad to a 4-byte boundary (padding bytes are zero).
+        while psdu.len() % 4 != 0 {
+            psdu.push(0);
+        }
+    }
+    psdu
+}
+
+/// De-aggregates a received PSDU into per-subframe results: `Some(payload)`
+/// for subframes that passed their FCS, `None` for corrupted ones. The
+/// scanner re-synchronises on the next valid delimiter after corruption.
+pub fn deaggregate(psdu: &[u8]) -> Vec<Option<Vec<u8>>> {
+    let crc = Crc32::new();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + DELIMITER_LEN <= psdu.len() {
+        match parse_delimiter(&psdu[pos..]) {
+            Some(len) if pos + DELIMITER_LEN + len <= psdu.len() => {
+                let mpdu = &psdu[pos + DELIMITER_LEN..pos + DELIMITER_LEN + len];
+                out.push(crc.verify(mpdu).map(<[u8]>::to_vec));
+                pos += DELIMITER_LEN + len;
+                // Skip the padding.
+                while pos % 4 != 0 {
+                    pos += 1;
+                }
+            }
+            _ => {
+                // Not a valid delimiter here: resync scan, 4-byte aligned
+                // like hardware de-aggregators.
+                pos += 4;
+            }
+        }
+    }
+    out
+}
+
+/// Counts delivered subframes out of an expectation — the per-subframe
+/// reception rate used with aggregation.
+///
+/// # Errors
+///
+/// [`PhyError::LengthMismatch`] if more subframes were decoded than
+/// expected (indicates a resync bug or malicious input).
+pub fn subframe_delivery(
+    received: &[Option<Vec<u8>>],
+    expected: usize,
+) -> Result<(usize, usize), PhyError> {
+    if received.len() > expected {
+        return Err(PhyError::LengthMismatch { need: expected, got: received.len() });
+    }
+    let ok = received.iter().filter(|r| r.is_some()).count();
+    Ok((ok, expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpdus() -> Vec<Vec<u8>> {
+        vec![
+            (0..100u8).collect(),
+            b"second subframe".to_vec(),
+            vec![0xFF; 257],
+            b"tail".to_vec(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_subframes() {
+        let psdu = aggregate(&mpdus());
+        let got = deaggregate(&psdu);
+        assert_eq!(got.len(), 4);
+        for (g, want) in got.iter().zip(mpdus()) {
+            assert_eq!(g.as_deref(), Some(want.as_slice()));
+        }
+    }
+
+    #[test]
+    fn psdu_is_four_byte_aligned_between_subframes() {
+        let psdu = aggregate(&mpdus());
+        assert_eq!(psdu.len() % 4, 0);
+    }
+
+    #[test]
+    fn corrupted_subframe_is_isolated() {
+        let mut psdu = aggregate(&mpdus());
+        // Corrupt a byte inside the third subframe's MPDU body.
+        let second_region = DELIMITER_LEN + 104 + DELIMITER_LEN + 19 + 1 + 20;
+        psdu[second_region + 40] ^= 0xA5;
+        let got = deaggregate(&psdu);
+        let delivered = got.iter().filter(|r| r.is_some()).count();
+        assert!(delivered >= 3, "only {delivered} survived a single corrupt byte");
+        assert_eq!(got.len(), 4, "all four subframes should still be framed");
+    }
+
+    #[test]
+    fn corrupted_delimiter_resyncs_on_later_subframes() {
+        let mut psdu = aggregate(&mpdus());
+        psdu[0] ^= 0xFF; // destroy the first delimiter
+        let got = deaggregate(&psdu);
+        // First subframe is lost entirely (its delimiter is gone), but the
+        // scanner finds later delimiters.
+        let delivered = got.iter().filter(|r| r.is_some()).count();
+        assert!(delivered >= 2, "resync failed: {delivered}");
+    }
+
+    #[test]
+    fn delimiter_crc_rejects_bit_flips() {
+        let d = delimiter(300);
+        assert_eq!(parse_delimiter(&d), Some(300));
+        for byte in 0..3 {
+            let mut bad = d;
+            bad[byte] ^= 0x10;
+            assert_eq!(parse_delimiter(&bad), None, "flip in byte {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn single_subframe_aggregate() {
+        let psdu = aggregate(&[b"solo".to_vec()]);
+        let got = deaggregate(&psdu);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].as_deref(), Some(&b"solo"[..]));
+    }
+
+    #[test]
+    fn delivery_counting() {
+        let received = vec![Some(vec![1]), None, Some(vec![2])];
+        let (ok, total) = subframe_delivery(&received, 4).expect("valid");
+        assert_eq!((ok, total), (2, 4));
+        assert!(subframe_delivery(&received, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "12-bit length")]
+    fn oversized_mpdu_panics() {
+        aggregate(&[vec![0u8; 5000]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_aggregate_panics() {
+        aggregate(&[]);
+    }
+}

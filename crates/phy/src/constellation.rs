@@ -1,0 +1,388 @@
+//! Gray-mapped constellations of IEEE 802.11a (Clause 17.3.5.8) and their
+//! max-log soft demappers.
+//!
+//! All constellations are normalised to unit average energy by the
+//! standard's `K_MOD` factors, so the minimum constellation distance `D_m`
+//! shrinks as the modulation order grows — the quantity the CoS subcarrier
+//! selector compares per-subcarrier EVM against (`EVM > D_m / 2` ⇒ the
+//! subcarrier is error-prone; paper §III-D).
+
+use cos_dsp::Complex;
+
+/// A subcarrier modulation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modulation {
+    /// 1 bit per subcarrier.
+    Bpsk,
+    /// 2 bits per subcarrier.
+    Qpsk,
+    /// 4 bits per subcarrier.
+    Qam16,
+    /// 6 bits per subcarrier.
+    Qam64,
+}
+
+/// Per-axis Gray level tables from Table 17-9..17-12: `LEVELS[g]` is the
+/// amplitude for Gray-coded bit group `g` (bits MSB-first within the group).
+const BPSK_LEVELS: [f64; 2] = [-1.0, 1.0];
+const QAM16_LEVELS: [f64; 4] = [-3.0, -1.0, 3.0, 1.0]; // 00,01,10,11
+const QAM64_LEVELS: [f64; 8] = [-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0]; // 000..111
+
+impl Modulation {
+    /// All modulations, lowest order first.
+    pub const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
+    /// Coded bits per subcarrier symbol (`N_BPSC`).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// The normalisation factor `K_MOD` (Table 17-8).
+    pub fn kmod(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+
+    /// Number of constellation points `M`.
+    pub fn points_count(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// The minimum distance `D_m` between constellation points (after
+    /// normalisation); adjacent levels differ by 2·`K_MOD`.
+    pub fn min_distance(self) -> f64 {
+        2.0 * self.kmod()
+    }
+
+    /// The energy of the lowest-energy constellation point. For QAM the
+    /// inner points carry far less energy than average (16QAM: 0.2,
+    /// 64QAM: ≈ 0.048), which bounds how well a silence symbol can be
+    /// told apart from a *transmitted* symbol by energy detection — the
+    /// constraint behind CoS's modulation-aware detectability floor.
+    pub fn min_point_energy(self) -> f64 {
+        self.points()
+            .into_iter()
+            .map(Complex::norm_sqr)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The per-axis amplitude levels *before* `K_MOD` scaling, indexed by
+    /// the Gray bit group read MSB-first.
+    fn axis_levels(self) -> &'static [f64] {
+        match self {
+            Modulation::Bpsk | Modulation::Qpsk => &BPSK_LEVELS,
+            Modulation::Qam16 => &QAM16_LEVELS,
+            Modulation::Qam64 => &QAM64_LEVELS,
+        }
+    }
+
+    /// Bits per axis (0 for the Q axis of BPSK).
+    fn bits_per_axis(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 1,
+            Modulation::Qam16 => 2,
+            Modulation::Qam64 => 3,
+        }
+    }
+
+    /// Maps `N_BPSC` coded bits (first bit = `b0`, the standard's table
+    /// order) to a normalised constellation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != N_BPSC` or any bit is not 0/1.
+    pub fn map(self, bits: &[u8]) -> Complex {
+        let n = self.bits_per_symbol();
+        assert_eq!(bits.len(), n, "expected {n} bits for {self}");
+        for &b in bits {
+            assert!(b <= 1, "bits must be 0 or 1, got {b}");
+        }
+        let ba = self.bits_per_axis();
+        let group = |slice: &[u8]| slice.iter().fold(0usize, |g, &b| (g << 1) | b as usize);
+        let levels = self.axis_levels();
+        let i = levels[group(&bits[..ba])];
+        let q = if self == Modulation::Bpsk {
+            0.0
+        } else {
+            levels[group(&bits[ba..])]
+        };
+        Complex::new(i, q).scale(self.kmod())
+    }
+
+    /// All `M` normalised constellation points, in bit-pattern order
+    /// (`b0..b_{n-1}` as the binary digits of the index, MSB first).
+    pub fn points(self) -> Vec<Complex> {
+        let n = self.bits_per_symbol();
+        (0..self.points_count())
+            .map(|idx| {
+                let bits: Vec<u8> = (0..n).map(|i| ((idx >> (n - 1 - i)) & 1) as u8).collect();
+                self.map(&bits)
+            })
+            .collect()
+    }
+
+    /// Hard-decides the nearest constellation point, returning its bits.
+    pub fn hard_demap(self, y: Complex) -> Vec<u8> {
+        let ba = self.bits_per_axis();
+        let mut bits = vec![0u8; self.bits_per_symbol()];
+        self.axis_hard(y.re, &mut bits[..ba]);
+        if self != Modulation::Bpsk {
+            let (_, q_bits) = bits.split_at_mut(ba);
+            self.axis_hard(y.im, q_bits);
+        }
+        bits
+    }
+
+    /// Hard-decides the nearest constellation point, returning the point.
+    pub fn nearest_point(self, y: Complex) -> Complex {
+        let bits = self.hard_demap(y);
+        self.map(&bits)
+    }
+
+    fn axis_hard(self, value: f64, out: &mut [u8]) {
+        let levels = self.axis_levels();
+        let scaled = value / self.kmod();
+        let best = levels
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = (a.1 - scaled).abs();
+                let db = (b.1 - scaled).abs();
+                da.partial_cmp(&db).expect("levels are finite")
+            })
+            .map(|(g, _)| g)
+            .expect("level table is non-empty");
+        let width = out.len();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = ((best >> (width - 1 - i)) & 1) as u8;
+        }
+    }
+
+    /// Max-log per-bit LLRs for an equalised symbol `y_eq` with channel
+    /// reliability `weight = |H|² / σ²` (paper Eq. 8).
+    ///
+    /// Positive LLR ⇒ bit more likely **0** (the convention of
+    /// [`cos_fec::viterbi`]). LLRs are appended to `out` in transmit order
+    /// `b0..b_{n-1}`.
+    pub fn soft_demap(self, y_eq: Complex, weight: f64, out: &mut Vec<f64>) {
+        let ba = self.bits_per_axis();
+        self.axis_soft(y_eq.re, weight, ba, out);
+        if self != Modulation::Bpsk {
+            self.axis_soft(y_eq.im, weight, ba, out);
+        }
+    }
+
+    /// Per-axis max-log bit metrics: for each bit position the difference
+    /// of squared distances to the nearest level with that bit 1 vs 0.
+    fn axis_soft(self, value: f64, weight: f64, bits: usize, out: &mut Vec<f64>) {
+        let levels = self.axis_levels();
+        let k = self.kmod();
+        for i in 0..bits {
+            let shift = bits - 1 - i;
+            let mut d0 = f64::INFINITY;
+            let mut d1 = f64::INFINITY;
+            for (g, &level) in levels.iter().enumerate() {
+                let d = value - level * k;
+                let d2 = d * d;
+                if (g >> shift) & 1 == 0 {
+                    d0 = d0.min(d2);
+                } else {
+                    d1 = d1.min(d2);
+                }
+            }
+            out.push(weight * (d1 - d0));
+        }
+    }
+}
+
+impl std::fmt::Display for Modulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16QAM",
+            Modulation::Qam64 => "64QAM",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_average_energy() {
+        for m in Modulation::ALL {
+            let pts = m.points();
+            let energy: f64 = pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((energy - 1.0).abs() < 1e-12, "{m} energy {energy}");
+        }
+    }
+
+    #[test]
+    fn bpsk_mapping_matches_standard() {
+        assert_eq!(Modulation::Bpsk.map(&[0]), Complex::new(-1.0, 0.0));
+        assert_eq!(Modulation::Bpsk.map(&[1]), Complex::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn qpsk_mapping_matches_standard() {
+        let k = 1.0 / 2f64.sqrt();
+        assert_eq!(Modulation::Qpsk.map(&[0, 0]), Complex::new(-k, -k));
+        assert_eq!(Modulation::Qpsk.map(&[1, 0]), Complex::new(k, -k));
+        assert_eq!(Modulation::Qpsk.map(&[0, 1]), Complex::new(-k, k));
+        assert_eq!(Modulation::Qpsk.map(&[1, 1]), Complex::new(k, k));
+    }
+
+    #[test]
+    fn qam16_gray_levels_match_standard() {
+        // Table 17-11: b0b1 ∈ {00,01,11,10} → I ∈ {-3,-1,1,3}.
+        let k = 1.0 / 10f64.sqrt();
+        let cases = [([0, 0], -3.0), ([0, 1], -1.0), ([1, 1], 1.0), ([1, 0], 3.0)];
+        for (b, level) in cases {
+            let p = Modulation::Qam16.map(&[b[0], b[1], 0, 0]);
+            assert!((p.re - level * k).abs() < 1e-12, "bits {b:?}");
+        }
+    }
+
+    #[test]
+    fn qam64_gray_levels_match_standard() {
+        // Table 17-12: b0b1b2 ∈ {000,001,011,010,110,111,101,100} → -7..7.
+        let k = 1.0 / 42f64.sqrt();
+        let cases = [
+            ([0, 0, 0], -7.0),
+            ([0, 0, 1], -5.0),
+            ([0, 1, 1], -3.0),
+            ([0, 1, 0], -1.0),
+            ([1, 1, 0], 1.0),
+            ([1, 1, 1], 3.0),
+            ([1, 0, 1], 5.0),
+            ([1, 0, 0], 7.0),
+        ];
+        for (b, level) in cases {
+            let p = Modulation::Qam64.map(&[b[0], b[1], b[2], 0, 0, 0]);
+            assert!((p.re - level * k).abs() < 1e-12, "bits {b:?} got {}", p.re / k);
+        }
+    }
+
+    #[test]
+    fn gray_property_neighbours_differ_by_one_bit() {
+        // Sort points of each axis by amplitude; adjacent bit groups must
+        // differ in exactly one bit (Gray coding).
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let levels = m.axis_levels();
+            let mut order: Vec<usize> = (0..levels.len()).collect();
+            order.sort_by(|&a, &b| levels[a].partial_cmp(&levels[b]).expect("finite"));
+            for pair in order.windows(2) {
+                let diff = (pair[0] ^ pair[1]).count_ones();
+                assert_eq!(diff, 1, "{m}: groups {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_demap_inverts_map() {
+        for m in Modulation::ALL {
+            let n = m.bits_per_symbol();
+            for idx in 0..m.points_count() {
+                let bits: Vec<u8> = (0..n).map(|i| ((idx >> (n - 1 - i)) & 1) as u8).collect();
+                let p = m.map(&bits);
+                assert_eq!(m.hard_demap(p), bits, "{m} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_demap_tolerates_small_noise() {
+        for m in Modulation::ALL {
+            let eps = m.min_distance() * 0.3;
+            for idx in 0..m.points_count() {
+                let n = m.bits_per_symbol();
+                let bits: Vec<u8> = (0..n).map(|i| ((idx >> (n - 1 - i)) & 1) as u8).collect();
+                let p = m.map(&bits) + Complex::new(eps, -eps * 0.5);
+                assert_eq!(m.hard_demap(p), bits, "{m} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_signs_match_hard_decision_on_clean_points() {
+        for m in Modulation::ALL {
+            for idx in 0..m.points_count() {
+                let n = m.bits_per_symbol();
+                let bits: Vec<u8> = (0..n).map(|i| ((idx >> (n - 1 - i)) & 1) as u8).collect();
+                let p = m.map(&bits);
+                let mut llrs = Vec::new();
+                m.soft_demap(p, 1.0, &mut llrs);
+                assert_eq!(llrs.len(), n);
+                for (i, &llr) in llrs.iter().enumerate() {
+                    if bits[i] == 0 {
+                        assert!(llr > 0.0, "{m} idx {idx} bit {i}: llr {llr}");
+                    } else {
+                        assert!(llr < 0.0, "{m} idx {idx} bit {i}: llr {llr}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_scales_with_weight() {
+        let m = Modulation::Qam16;
+        let y = Complex::new(0.2, -0.4);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        m.soft_demap(y, 1.0, &mut a);
+        m.soft_demap(y, 4.0, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y - 4.0 * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_point_energy_values() {
+        assert!((Modulation::Bpsk.min_point_energy() - 1.0).abs() < 1e-12);
+        assert!((Modulation::Qpsk.min_point_energy() - 1.0).abs() < 1e-12);
+        assert!((Modulation::Qam16.min_point_energy() - 0.2).abs() < 1e-12);
+        assert!((Modulation::Qam64.min_point_energy() - 2.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distance_shrinks_with_order() {
+        let d: Vec<f64> = Modulation::ALL.iter().map(|m| m.min_distance()).collect();
+        for pair in d.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+    }
+
+    #[test]
+    fn nearest_point_is_a_constellation_point() {
+        let m = Modulation::Qam64;
+        let pts = m.points();
+        let y = Complex::new(0.11, -0.73);
+        let p = m.nearest_point(y);
+        assert!(pts.iter().any(|&q| (q - p).norm() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 bits")]
+    fn wrong_bit_count_panics() {
+        Modulation::Qam16.map(&[0, 1]);
+    }
+}

@@ -1,0 +1,76 @@
+//! PHY-layer error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the receive chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhyError {
+    /// The sample stream is shorter than a preamble + SIGNAL symbol.
+    FrameTooShort {
+        /// Samples provided.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// The SIGNAL field failed its even-parity check.
+    SignalParity,
+    /// The SIGNAL RATE field decoded to a reserved pattern.
+    ReservedRate,
+    /// The SIGNAL LENGTH field implies more DATA symbols than the frame
+    /// carries.
+    LengthMismatch {
+        /// DATA symbols implied by the LENGTH field.
+        need: usize,
+        /// DATA symbols present in the sample stream.
+        got: usize,
+    },
+    /// The descrambler could not recover a scrambler seed (all-zero
+    /// keystream prefix).
+    ScramblerSeed,
+    /// No preamble was found in the sample stream.
+    NoPreamble,
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::FrameTooShort { got, need } => {
+                write!(f, "frame too short: got {got} samples, need {need}")
+            }
+            PhyError::SignalParity => write!(f, "SIGNAL field parity check failed"),
+            PhyError::ReservedRate => write!(f, "SIGNAL RATE field is a reserved pattern"),
+            PhyError::LengthMismatch { need, got } => {
+                write!(f, "LENGTH field needs {need} data symbols but frame has {got}")
+            }
+            PhyError::ScramblerSeed => write!(f, "could not recover scrambler seed"),
+            PhyError::NoPreamble => write!(f, "no preamble found in sample stream"),
+        }
+    }
+}
+
+impl Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = PhyError::FrameTooShort { got: 3, need: 400 };
+        assert_eq!(e.to_string(), "frame too short: got 3 samples, need 400");
+        assert!(PhyError::SignalParity.to_string().contains("parity"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PhyError::SignalParity, PhyError::SignalParity);
+        assert_ne!(PhyError::SignalParity, PhyError::ReservedRate);
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn is_error<E: Error>(_: E) {}
+        is_error(PhyError::ReservedRate);
+    }
+}

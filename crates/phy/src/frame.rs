@@ -1,0 +1,225 @@
+//! DATA-field bit processing (Clause 17.3.5): SERVICE + PSDU + tail + pad,
+//! scrambling, convolutional encoding, puncturing and interleaving.
+//!
+//! The PSDU carried here is `payload ‖ CRC-32`, so a decoded frame can be
+//! integrity-checked exactly as the paper's receiver does before computing
+//! EVM feedback.
+
+use crate::rates::DataRate;
+use cos_fec::bits::{bits_to_bytes, bytes_to_bits};
+use cos_fec::{ConvEncoder, Crc32, Interleaver, Scrambler, ViterbiDecoder};
+
+/// Bits in the SERVICE field (7 scrambler-init zeros + 9 reserved zeros).
+pub const SERVICE_BITS: usize = 16;
+/// Tail bits appended after the PSDU.
+pub const TAIL_BITS: usize = 6;
+
+/// The fully processed DATA field of one frame, with every intermediate
+/// stage retained for instrumentation (decoder-input BER, symbol-error
+/// maps, EVM reconstruction).
+#[derive(Debug, Clone)]
+pub struct DataField {
+    /// The rate everything below was built for.
+    pub rate: DataRate,
+    /// Unscrambled bits: SERVICE + PSDU + tail + pad.
+    pub raw_bits: Vec<u8>,
+    /// After scrambling (tail bits re-zeroed, Clause 17.3.5.3).
+    pub scrambled: Vec<u8>,
+    /// After convolutional encoding and puncturing.
+    pub coded: Vec<u8>,
+    /// After per-symbol interleaving — the bits actually mapped to
+    /// subcarriers, in transmit order.
+    pub interleaved: Vec<u8>,
+    /// Number of DATA OFDM symbols.
+    pub n_symbols: usize,
+}
+
+/// Builds the DATA field for a PSDU.
+///
+/// # Panics
+///
+/// Panics if the scrambler seed is invalid (zero or wider than 7 bits).
+pub fn build_data_field(psdu: &[u8], rate: DataRate, scrambler_seed: u8) -> DataField {
+    let n_symbols = rate.data_symbol_count(psdu.len());
+    let total_bits = n_symbols * rate.ndbps();
+
+    // SERVICE (all zeros) + PSDU + tail + pad.
+    let mut raw_bits = vec![0u8; SERVICE_BITS];
+    raw_bits.extend(bytes_to_bits(psdu));
+    let tail_start = raw_bits.len();
+    raw_bits.extend_from_slice(&[0; TAIL_BITS]);
+    raw_bits.resize(total_bits, 0);
+
+    // Scramble everything, then restore the tail bits to zero so the
+    // encoder terminates.
+    let mut scrambled = Scrambler::new(scrambler_seed).scramble(&raw_bits);
+    for b in &mut scrambled[tail_start..tail_start + TAIL_BITS] {
+        *b = 0;
+    }
+
+    let mother = ConvEncoder::new().encode(&scrambled);
+    let coded = rate.code_rate().puncture(&mother);
+    debug_assert_eq!(coded.len(), n_symbols * rate.ncbps());
+
+    let interleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).interleave(&coded);
+
+    DataField {
+        rate,
+        raw_bits,
+        scrambled,
+        coded,
+        interleaved,
+        n_symbols,
+    }
+}
+
+/// The output of [`decode_data_field`].
+#[derive(Debug, Clone)]
+pub struct DecodedData {
+    /// Descrambled DATA-field bits (SERVICE + PSDU + tail/pad region).
+    pub bits: Vec<u8>,
+    /// The scrambler seed recovered from the SERVICE prefix — needed to
+    /// reconstruct the transmitted constellation points for EVM feedback.
+    pub scrambler_seed: u8,
+}
+
+/// Decodes received soft bits (in transmit/interleaved order) back to the
+/// descrambled DATA-field bits.
+///
+/// `psdu_len` (from the SIGNAL LENGTH field) locates the tail bits: the
+/// 802.11a pad bits come *after* the tail and are scrambled, so the
+/// trellis is only guaranteed to sit in state 0 at the tail position —
+/// the decoder truncates the mother-code stream there and decodes with
+/// proper termination, discarding the pad region entirely.
+///
+/// Returns `None` if the scrambler seed cannot be recovered from the
+/// SERVICE prefix (possible only under catastrophic corruption).
+pub fn decode_data_field(llrs: &[f64], rate: DataRate, psdu_len: usize) -> Option<DecodedData> {
+    let deinterleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).deinterleave_soft(llrs);
+    let mother = rate.code_rate().depuncture(&deinterleaved);
+    let data_bits_to_tail = SERVICE_BITS + psdu_len * 8 + TAIL_BITS;
+    let coded_to_tail = (data_bits_to_tail * 2).min(mother.len());
+    let scrambled = ViterbiDecoder::new().decode(&mother[..coded_to_tail], true);
+    let seed = Scrambler::recover_seed(&scrambled[..7])?;
+    Some(DecodedData {
+        bits: Scrambler::new(seed).scramble(&scrambled),
+        scrambler_seed: seed,
+    })
+}
+
+/// Extracts and CRC-verifies the payload from descrambled DATA-field bits.
+///
+/// `psdu_len` comes from the SIGNAL LENGTH field. Returns the payload
+/// (PSDU minus the 4 FCS bytes) only if the CRC passes.
+pub fn extract_payload(data_bits: &[u8], psdu_len: usize) -> Option<Vec<u8>> {
+    let need = SERVICE_BITS + psdu_len * 8;
+    if data_bits.len() < need {
+        return None;
+    }
+    let psdu = bits_to_bytes(&data_bits[SERVICE_BITS..need]);
+    Crc32::new().verify(&psdu).map(<[u8]>::to_vec)
+}
+
+/// Wraps a payload into a PSDU by appending the CRC-32 FCS.
+pub fn payload_to_psdu(payload: &[u8]) -> Vec<u8> {
+    Crc32::new().append(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_llrs(bits: &[u8]) -> Vec<f64> {
+        bits.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn lengths_are_symbol_aligned() {
+        for rate in DataRate::ALL {
+            let psdu = payload_to_psdu(&[0xAB; 100]);
+            let df = build_data_field(&psdu, rate, 0x5D);
+            assert_eq!(df.raw_bits.len() % rate.ndbps(), 0, "{rate}");
+            assert_eq!(df.coded.len(), df.n_symbols * rate.ncbps(), "{rate}");
+            assert_eq!(df.interleaved.len(), df.coded.len(), "{rate}");
+        }
+    }
+
+    #[test]
+    fn service_bits_are_zero_before_scrambling() {
+        let df = build_data_field(&[1, 2, 3], DataRate::Mbps12, 0x31);
+        assert!(df.raw_bits[..SERVICE_BITS].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn tail_bits_are_zero_after_scrambling() {
+        let psdu = vec![0xFF; 50];
+        let df = build_data_field(&psdu, DataRate::Mbps18, 0x7F);
+        let tail_start = SERVICE_BITS + psdu.len() * 8;
+        assert!(df.scrambled[tail_start..tail_start + TAIL_BITS].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn decode_roundtrip_all_rates() {
+        for rate in DataRate::ALL {
+            let payload: Vec<u8> = (0..=200).map(|i| (i * 7) as u8).collect();
+            let psdu = payload_to_psdu(&payload);
+            let df = build_data_field(&psdu, rate, 0x2B);
+            let decoded = decode_data_field(&ideal_llrs(&df.interleaved), rate, psdu.len())
+                .expect("seed recoverable");
+            assert_eq!(decoded.scrambler_seed, 0x2B, "{rate}");
+            // The 6 tail bits are re-zeroed *after* scrambling, so they
+            // descramble to keystream — compare only SERVICE + PSDU.
+            let body = SERVICE_BITS + psdu.len() * 8;
+            assert_eq!(&decoded.bits[..body], &df.raw_bits[..body], "{rate}");
+            let got = extract_payload(&decoded.bits, psdu.len()).expect("CRC passes");
+            assert_eq!(got, payload, "{rate}");
+        }
+    }
+
+    #[test]
+    fn decode_survives_erasures() {
+        let payload = b"erasure bridging works".to_vec();
+        let psdu = payload_to_psdu(&payload);
+        let df = build_data_field(&psdu, DataRate::Mbps24, 0x11);
+        let mut llrs = ideal_llrs(&df.interleaved);
+        // Erase a sprinkling of transmitted bits (as silence symbols would).
+        for i in (0..llrs.len()).step_by(29) {
+            llrs[i] = 0.0;
+        }
+        let decoded = decode_data_field(&llrs, DataRate::Mbps24, psdu.len()).expect("decodes");
+        assert_eq!(extract_payload(&decoded.bits, psdu.len()), Some(payload));
+    }
+
+    #[test]
+    fn corrupted_frame_fails_crc() {
+        let payload = b"integrity matters".to_vec();
+        let psdu = payload_to_psdu(&payload);
+        let df = build_data_field(&psdu, DataRate::Mbps12, 0x5D);
+        let mut llrs = ideal_llrs(&df.interleaved);
+        // A long burst of confident wrong bits defeats the decoder.
+        for l in llrs.iter_mut().skip(200).take(120) {
+            *l = -*l;
+        }
+        let decoded = decode_data_field(&llrs, DataRate::Mbps12, psdu.len()).expect("seed still recoverable");
+        assert_eq!(extract_payload(&decoded.bits, psdu.len()), None);
+    }
+
+    #[test]
+    fn extract_payload_rejects_short_input() {
+        assert_eq!(extract_payload(&[0; 40], 100), None);
+    }
+
+    #[test]
+    fn different_seeds_scramble_differently_but_decode_identically() {
+        let payload = b"seed independence".to_vec();
+        let psdu = payload_to_psdu(&payload);
+        let a = build_data_field(&psdu, DataRate::Mbps12, 0x01);
+        let b = build_data_field(&psdu, DataRate::Mbps12, 0x7F);
+        assert_ne!(a.scrambled, b.scrambled);
+        for df in [a, b] {
+            let decoded = decode_data_field(&ideal_llrs(&df.interleaved), DataRate::Mbps12, psdu.len())
+                .expect("decodes");
+            assert_eq!(extract_payload(&decoded.bits, psdu.len()), Some(payload.clone()));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The IEEE 802.11a OFDM physical layer.
+//!
+//! This crate is the simulator's stand-in for the paper's Sora SoftWiFi
+//! driver: a complete 20 MHz 802.11a PHY with
+//!
+//! * [`rates`] — the eight data rates (6–54 Mbps), their modulation/code
+//!   combinations, and the SNR-based rate-adaptation table,
+//! * [`constellation`] — Gray-mapped BPSK/QPSK/16QAM/64QAM with exact
+//!   normalisation and per-axis max-log soft demapping,
+//! * [`subcarriers`] — the 64-bin layout (48 data, 4 pilots, guards),
+//! * [`ofdm`] — IFFT/CP OFDM symbol modulation and demodulation,
+//! * [`preamble`] — short/long training fields,
+//! * [`signal`] — the SIGNAL field,
+//! * [`frame`] — DATA-field bit processing (SERVICE/tail/pad, scramble,
+//!   encode, interleave),
+//! * [`tx`]/[`rx`] — the full transmit and receive chains. The transmit
+//!   chain exposes its frequency-domain symbol grid *before* the IFFT so
+//!   the CoS power controller can zero symbols (silence insertion), and the
+//!   receive chain accepts an erasure mask so energy-detected silences
+//!   become zero-LLR bits (erasure Viterbi decoding),
+//! * [`evm`] — per-subcarrier EVM (paper Eq. 1) and the normalised EVM
+//!   change `∇EVM` (paper Eq. 2),
+//! * [`sync`] — packet detection, sample-accurate timing and CFO
+//!   estimation/correction, so frames can be received from raw streams
+//!   with unknown offsets,
+//! * [`aggregation`] — A-MPDU-style frame aggregation with per-subframe
+//!   FCS and delimiter resync.
+//!
+//! # Examples
+//!
+//! ```
+//! use cos_phy::rates::DataRate;
+//! use cos_phy::tx::Transmitter;
+//! use cos_phy::rx::{Receiver, RxConfig};
+//!
+//! let payload = b"hello, free control messages".to_vec();
+//! let frame = Transmitter::new().build_frame(&payload, DataRate::Mbps24, 0x5D);
+//! let samples = frame.to_time_samples();
+//! // Loop back over an ideal channel.
+//! let rx = Receiver::new().receive(&samples, &RxConfig::ideal()).expect("decodable");
+//! assert_eq!(rx.payload.as_deref(), Some(payload.as_slice()));
+//! ```
+
+pub mod aggregation;
+pub mod constellation;
+pub mod error;
+pub mod evm;
+pub mod frame;
+pub mod ofdm;
+pub mod preamble;
+pub mod rates;
+pub mod rx;
+pub mod signal;
+pub mod subcarriers;
+pub mod sync;
+pub mod tx;
+
+pub use error::PhyError;
+pub use rates::DataRate;

@@ -1,0 +1,288 @@
+//! The eight IEEE 802.11a data rates and SNR-based rate adaptation.
+//!
+//! A data rate is a (modulation, code-rate) combination (Clause 17.3.2.2).
+//! Rate adaptation follows the SNR-threshold scheme the paper adopts from
+//! Holland et al. \[6\]: the receiver reports a measured SNR and the sender
+//! picks the fastest rate whose *minimum required SNR* it clears. The
+//! minimum-SNR column is calibrated against this simulator (see
+//! [`DataRate::min_snr_db`]) and lands within ~1 dB of the paper's anchor
+//! (24 Mbps → 12 dB) and of common 802.11a link-abstraction tables; these
+//! thresholds delimit the six operating bands of the paper's Fig. 9.
+
+use crate::constellation::Modulation;
+use cos_fec::CodeRate;
+
+/// An 802.11a data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataRate {
+    /// 6 Mbps — BPSK, rate 1/2.
+    Mbps6,
+    /// 9 Mbps — BPSK, rate 3/4.
+    Mbps9,
+    /// 12 Mbps — QPSK, rate 1/2.
+    Mbps12,
+    /// 18 Mbps — QPSK, rate 3/4.
+    Mbps18,
+    /// 24 Mbps — 16QAM, rate 1/2.
+    Mbps24,
+    /// 36 Mbps — 16QAM, rate 3/4.
+    Mbps36,
+    /// 48 Mbps — 64QAM, rate 2/3.
+    Mbps48,
+    /// 54 Mbps — 64QAM, rate 3/4.
+    Mbps54,
+}
+
+impl DataRate {
+    /// All rates, slowest first.
+    pub const ALL: [DataRate; 8] = [
+        DataRate::Mbps6,
+        DataRate::Mbps9,
+        DataRate::Mbps12,
+        DataRate::Mbps18,
+        DataRate::Mbps24,
+        DataRate::Mbps36,
+        DataRate::Mbps48,
+        DataRate::Mbps54,
+    ];
+
+    /// The six rates the paper's Fig. 9 sweeps (12–54 Mbps).
+    pub const FIG9_RATES: [DataRate; 6] = [
+        DataRate::Mbps12,
+        DataRate::Mbps18,
+        DataRate::Mbps24,
+        DataRate::Mbps36,
+        DataRate::Mbps48,
+        DataRate::Mbps54,
+    ];
+
+    /// Nominal bit rate in Mbps.
+    pub fn mbps(self) -> u32 {
+        match self {
+            DataRate::Mbps6 => 6,
+            DataRate::Mbps9 => 9,
+            DataRate::Mbps12 => 12,
+            DataRate::Mbps18 => 18,
+            DataRate::Mbps24 => 24,
+            DataRate::Mbps36 => 36,
+            DataRate::Mbps48 => 48,
+            DataRate::Mbps54 => 54,
+        }
+    }
+
+    /// The subcarrier modulation.
+    pub fn modulation(self) -> Modulation {
+        match self {
+            DataRate::Mbps6 | DataRate::Mbps9 => Modulation::Bpsk,
+            DataRate::Mbps12 | DataRate::Mbps18 => Modulation::Qpsk,
+            DataRate::Mbps24 | DataRate::Mbps36 => Modulation::Qam16,
+            DataRate::Mbps48 | DataRate::Mbps54 => Modulation::Qam64,
+        }
+    }
+
+    /// The convolutional code rate.
+    pub fn code_rate(self) -> CodeRate {
+        match self {
+            DataRate::Mbps6 | DataRate::Mbps12 | DataRate::Mbps24 => CodeRate::Half,
+            DataRate::Mbps48 => CodeRate::TwoThirds,
+            DataRate::Mbps9 | DataRate::Mbps18 | DataRate::Mbps36 | DataRate::Mbps54 => {
+                CodeRate::ThreeQuarters
+            }
+        }
+    }
+
+    /// Coded bits per subcarrier (`N_BPSC`).
+    pub fn nbpsc(self) -> usize {
+        self.modulation().bits_per_symbol()
+    }
+
+    /// Coded bits per OFDM symbol (`N_CBPS` = 48 · `N_BPSC`).
+    pub fn ncbps(self) -> usize {
+        48 * self.nbpsc()
+    }
+
+    /// Data bits per OFDM symbol (`N_DBPS`).
+    pub fn ndbps(self) -> usize {
+        self.ncbps() * self.code_rate().numerator() / self.code_rate().denominator()
+    }
+
+    /// The 4-bit RATE field of the SIGNAL symbol (Clause 17.3.4.2),
+    /// LSB-first as transmitted.
+    pub fn signal_bits(self) -> [u8; 4] {
+        // Values from Table 17-6, written MSB-first then reversed: R1..R4.
+        let code: u8 = match self {
+            DataRate::Mbps6 => 0b1101,
+            DataRate::Mbps9 => 0b1111,
+            DataRate::Mbps12 => 0b0101,
+            DataRate::Mbps18 => 0b0111,
+            DataRate::Mbps24 => 0b1001,
+            DataRate::Mbps36 => 0b1011,
+            DataRate::Mbps48 => 0b0001,
+            DataRate::Mbps54 => 0b0011,
+        };
+        // R1 is transmitted first and is the MSB of the table value.
+        [
+            (code >> 3) & 1,
+            (code >> 2) & 1,
+            (code >> 1) & 1,
+            code & 1,
+        ]
+    }
+
+    /// Decodes the 4-bit RATE field; `None` for reserved patterns.
+    pub fn from_signal_bits(bits: [u8; 4]) -> Option<DataRate> {
+        let code = (bits[0] << 3) | (bits[1] << 2) | (bits[2] << 1) | bits[3];
+        Some(match code {
+            0b1101 => DataRate::Mbps6,
+            0b1111 => DataRate::Mbps9,
+            0b0101 => DataRate::Mbps12,
+            0b0111 => DataRate::Mbps18,
+            0b1001 => DataRate::Mbps24,
+            0b1011 => DataRate::Mbps36,
+            0b0001 => DataRate::Mbps48,
+            0b0011 => DataRate::Mbps54,
+            _ => return None,
+        })
+    }
+
+    /// The minimum required SNR (dB) to sustain this rate.
+    ///
+    /// Calibrated against this simulator's channel: the lowest measured
+    /// SNR at which a plain 1024-byte packet stream holds the paper's
+    /// 99.3 % PRR target at the median position, plus 0.5 dB headroom
+    /// (see `cos-experiments --bin calibrate_thresholds`). The values
+    /// land within ~1 dB of the paper's anchors (24 Mbps → 12 dB there,
+    /// 13 dB here) and of common 802.11a link-abstraction tables.
+    pub fn min_snr_db(self) -> f64 {
+        match self {
+            DataRate::Mbps6 => 7.0,
+            DataRate::Mbps9 => 7.5,
+            DataRate::Mbps12 => 8.0,
+            DataRate::Mbps18 => 10.0,
+            DataRate::Mbps24 => 13.0,
+            DataRate::Mbps36 => 16.5,
+            DataRate::Mbps48 => 20.5,
+            DataRate::Mbps54 => 22.0,
+        }
+    }
+
+    /// SNR-based rate selection: the fastest rate whose minimum SNR is
+    /// cleared by `measured_snr_db`; the slowest rate if none is.
+    pub fn select(measured_snr_db: f64) -> DataRate {
+        DataRate::ALL
+            .iter()
+            .rev()
+            .copied()
+            .find(|r| measured_snr_db >= r.min_snr_db())
+            .unwrap_or(DataRate::Mbps6)
+    }
+
+    /// Number of DATA OFDM symbols needed for a PSDU of `psdu_bytes`
+    /// (Clause 17.3.5.3: SERVICE 16 + 8·bytes + 6 tail, padded up).
+    pub fn data_symbol_count(self, psdu_bytes: usize) -> usize {
+        let bits = 16 + 8 * psdu_bytes + 6;
+        bits.div_ceil(self.ndbps())
+    }
+
+    /// Airtime of a whole frame in microseconds: preamble (16 µs) +
+    /// SIGNAL (4 µs) + 4 µs per DATA symbol.
+    pub fn frame_airtime_us(self, psdu_bytes: usize) -> f64 {
+        16.0 + 4.0 + 4.0 * self.data_symbol_count(psdu_bytes) as f64
+    }
+}
+
+impl std::fmt::Display for DataRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} Mbps ({},{})", self.mbps(), self.modulation(), self.code_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_17_3_parameters() {
+        // (rate, Nbpsc, Ncbps, Ndbps) from IEEE 802.11-2012 Table 17-4.
+        let expect = [
+            (DataRate::Mbps6, 1, 48, 24),
+            (DataRate::Mbps9, 1, 48, 36),
+            (DataRate::Mbps12, 2, 96, 48),
+            (DataRate::Mbps18, 2, 96, 72),
+            (DataRate::Mbps24, 4, 192, 96),
+            (DataRate::Mbps36, 4, 192, 144),
+            (DataRate::Mbps48, 6, 288, 192),
+            (DataRate::Mbps54, 6, 288, 216),
+        ];
+        for (rate, nbpsc, ncbps, ndbps) in expect {
+            assert_eq!(rate.nbpsc(), nbpsc, "{rate}");
+            assert_eq!(rate.ncbps(), ncbps, "{rate}");
+            assert_eq!(rate.ndbps(), ndbps, "{rate}");
+        }
+    }
+
+    #[test]
+    fn mbps_matches_symbol_rate() {
+        // Ndbps per 4 µs symbol must equal the nominal bit rate.
+        for rate in DataRate::ALL {
+            assert_eq!(rate.ndbps() as u32, rate.mbps() * 4, "{rate}");
+        }
+    }
+
+    #[test]
+    fn signal_bits_roundtrip() {
+        for rate in DataRate::ALL {
+            assert_eq!(DataRate::from_signal_bits(rate.signal_bits()), Some(rate));
+        }
+    }
+
+    #[test]
+    fn reserved_rate_patterns_rejected() {
+        assert_eq!(DataRate::from_signal_bits([0, 0, 0, 0]), None);
+        assert_eq!(DataRate::from_signal_bits([1, 1, 1, 0]), None);
+    }
+
+    #[test]
+    fn min_snrs_are_monotone() {
+        for pair in DataRate::ALL.windows(2) {
+            assert!(pair[0].min_snr_db() < pair[1].min_snr_db());
+        }
+    }
+
+    #[test]
+    fn paper_anchor_24mbps_reproduces_within_a_db() {
+        // The paper measured 12 dB as the 24 Mbps minimum; the simulator
+        // calibrates to 13 dB (different SNR-estimation details).
+        assert!((DataRate::Mbps24.min_snr_db() - 12.0).abs() <= 1.0);
+        // Paper example: measured SNR 15 dB selects 24 Mbps.
+        assert_eq!(DataRate::select(15.0), DataRate::Mbps24);
+    }
+
+    #[test]
+    fn selection_boundaries() {
+        assert_eq!(DataRate::select(-3.0), DataRate::Mbps6);
+        assert_eq!(DataRate::select(8.0), DataRate::Mbps12);
+        assert_eq!(DataRate::select(9.9), DataRate::Mbps12);
+        assert_eq!(DataRate::select(22.0), DataRate::Mbps54);
+        assert_eq!(DataRate::select(40.0), DataRate::Mbps54);
+    }
+
+    #[test]
+    fn symbol_count_for_1024_bytes() {
+        // 16 + 8192 + 6 = 8214 bits; at 24 Mbps (96 dbps) → 86 symbols.
+        assert_eq!(DataRate::Mbps24.data_symbol_count(1024), 86);
+        // At 54 Mbps (216 dbps) → 39 symbols.
+        assert_eq!(DataRate::Mbps54.data_symbol_count(1024), 39);
+    }
+
+    #[test]
+    fn airtime_of_known_frame() {
+        let t = DataRate::Mbps24.frame_airtime_us(1024);
+        assert_eq!(t, 16.0 + 4.0 + 4.0 * 86.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(DataRate::Mbps36.to_string(), "36 Mbps (16QAM,3/4)");
+    }
+}

@@ -1,0 +1,503 @@
+//! The 802.11a receive chain, split into a **front end** (FFT, channel
+//! estimation, equalisation, noise estimation) and a **decoder** (soft
+//! demapping with optional erasures, de-interleaving, Viterbi, CRC).
+//!
+//! The split is what CoS needs: the energy detector inspects the front
+//! end's raw FFT magnitudes to locate silence symbols, *then* the decoder
+//! is invoked with the resulting erasure mask so those symbols' bits carry
+//! zero LLR (paper Eq. 7).
+
+use crate::error::PhyError;
+use crate::frame::{decode_data_field, extract_payload};
+use crate::ofdm::{FreqSymbol, OfdmEngine};
+use crate::preamble::{self, ltf_value, PREAMBLE_LEN};
+use crate::rates::DataRate;
+use crate::signal::decode_signal_symbol;
+use crate::sync::{correct_cfo, Acquisition, Synchronizer};
+use crate::subcarriers::{
+    bin_of, data_bins, data_indices, NUM_DATA, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN,
+};
+use cos_dsp::{linear_to_db, Complex, Prbs127};
+
+/// Floor applied to noise-variance estimates so ideal (noise-free)
+/// channels produce finite LLR weights.
+const NOISE_FLOOR_EPS: f64 = 1e-15;
+
+/// Receiver configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RxConfig {
+    /// Erasure mask from the energy detector: `erasures[symbol][logical_sc]`
+    /// marks a silence symbol whose bits get zero LLR.
+    pub erasures: Option<Vec<[bool; NUM_DATA]>>,
+}
+
+impl RxConfig {
+    /// No erasures — a plain 802.11a receiver.
+    pub fn ideal() -> Self {
+        RxConfig::default()
+    }
+
+    /// A receiver fed an erasure mask (one row per DATA symbol).
+    pub fn with_erasures(erasures: Vec<[bool; NUM_DATA]>) -> Self {
+        RxConfig { erasures: Some(erasures) }
+    }
+}
+
+/// Front-end output: everything measured before bit decisions.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    /// Per-bin channel estimate from the long training field (zero on
+    /// unused bins).
+    pub h_est: [Complex; 64],
+    /// Frequency-domain noise variance estimated from the difference of
+    /// the two LTF repetitions.
+    pub noise_var_ltf: f64,
+    /// Frequency-domain noise variance from pilot-aided estimation over
+    /// the DATA symbols (paper Eq. 5–6).
+    pub noise_var_pilot: f64,
+    /// The decoded SIGNAL field rate.
+    pub rate: DataRate,
+    /// The decoded SIGNAL field length (PSDU bytes).
+    pub psdu_len: usize,
+    /// Raw FFT output of every DATA symbol (all 64 bins) — the energy
+    /// detector's input.
+    pub raw_symbols: Vec<FreqSymbol>,
+    /// Raw data-subcarrier values per symbol, logical order.
+    pub data_y: Vec<[Complex; NUM_DATA]>,
+    /// Equalised data-subcarrier values (`Y/H`) per symbol.
+    pub equalized: Vec<[Complex; NUM_DATA]>,
+}
+
+impl FrontEnd {
+    /// Per-data-subcarrier SNR (linear) from the LTF estimate.
+    pub fn per_subcarrier_snr(&self) -> [f64; NUM_DATA] {
+        let sigma2 = self.noise_var_ltf.max(NOISE_FLOOR_EPS);
+        let mut out = [0.0; NUM_DATA];
+        for (slot, &bin) in out.iter_mut().zip(data_bins().iter()) {
+            *slot = self.h_est[bin].norm_sqr() / sigma2;
+        }
+        out
+    }
+
+    /// The NIC-style **measured SNR** in dB: the dB-domain mean of
+    /// per-subcarrier SNRs. Frequency-selective fading drags this below
+    /// the true wideband SNR — the effect behind the paper's Fig. 2 gap.
+    pub fn measured_snr_db(&self) -> f64 {
+        let snrs = self.per_subcarrier_snr();
+        let sum_db: f64 = snrs.iter().map(|&s| linear_to_db(s.max(1e-12))).sum();
+        (sum_db / snrs.len() as f64).min(60.0)
+    }
+
+    /// The wideband SNR in dB: linear mean of per-subcarrier SNRs (what a
+    /// channel sounder would report for this estimate).
+    pub fn wideband_snr_db(&self) -> f64 {
+        let snrs = self.per_subcarrier_snr();
+        let mean: f64 = snrs.iter().sum::<f64>() / snrs.len() as f64;
+        linear_to_db(mean.max(1e-12)).min(60.0)
+    }
+
+    /// The LLR reliability weight `|H_k|²/σ²` per logical subcarrier,
+    /// using the pilot-aided noise estimate.
+    pub fn llr_weights(&self) -> [f64; NUM_DATA] {
+        let sigma2 = self.noise_var_pilot.max(NOISE_FLOOR_EPS);
+        let mut out = [0.0; NUM_DATA];
+        for (slot, &bin) in out.iter_mut().zip(data_bins().iter()) {
+            *slot = self.h_est[bin].norm_sqr() / sigma2;
+        }
+        out
+    }
+}
+
+/// A fully decoded frame.
+#[derive(Debug, Clone)]
+pub struct RxFrame {
+    /// The front-end measurements the decode ran on.
+    pub front_end: FrontEnd,
+    /// The CRC-verified payload, if the frame decoded correctly.
+    pub payload: Option<Vec<u8>>,
+    /// Descrambled DATA-field bits (valid even when the CRC fails).
+    pub data_bits: Vec<u8>,
+    /// The recovered scrambler seed.
+    pub scrambler_seed: Option<u8>,
+    /// Hard decisions on every transmitted coded bit, in transmit
+    /// (interleaved) order — compare against
+    /// [`crate::frame::DataField::interleaved`] for the decoder-input BER
+    /// of the paper's Fig. 3.
+    pub hard_coded_bits: Vec<u8>,
+}
+
+impl RxFrame {
+    /// Convenience: did the frame pass its CRC?
+    pub fn crc_ok(&self) -> bool {
+        self.payload.is_some()
+    }
+}
+
+/// The 802.11a receiver.
+///
+/// Timing synchronisation is ideal (the sample stream starts at the first
+/// preamble sample) — a documented substitution for Sora's packet
+/// detector; CoS itself operates entirely post-FFT.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    engine: OfdmEngine,
+}
+
+impl Default for Receiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Receiver {
+    /// Creates a receiver.
+    pub fn new() -> Self {
+        Receiver { engine: OfdmEngine::new() }
+    }
+
+    /// Runs the front end: channel estimation, SIGNAL decode, per-symbol
+    /// FFT + equalisation, noise estimation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PhyError`] from framing or SIGNAL decoding.
+    pub fn front_end(&self, samples: &[Complex]) -> Result<FrontEnd, PhyError> {
+        self.front_end_inner(samples, None)
+    }
+
+    /// Runs the front end with an out-of-band known `(rate, psdu_len)`,
+    /// bypassing the SIGNAL field decode — used by measurement harnesses
+    /// that must characterise channels too poor to carry SIGNAL.
+    ///
+    /// # Errors
+    ///
+    /// Framing errors ([`PhyError::FrameTooShort`] /
+    /// [`PhyError::LengthMismatch`]).
+    pub fn front_end_known(
+        &self,
+        samples: &[Complex],
+        rate: DataRate,
+        psdu_len: usize,
+    ) -> Result<FrontEnd, PhyError> {
+        self.front_end_inner(samples, Some((rate, psdu_len)))
+    }
+
+    fn front_end_inner(
+        &self,
+        samples: &[Complex],
+        known: Option<(DataRate, usize)>,
+    ) -> Result<FrontEnd, PhyError> {
+        let min_len = PREAMBLE_LEN + SYMBOL_LEN;
+        if samples.len() < min_len {
+            return Err(PhyError::FrameTooShort { got: samples.len(), need: min_len });
+        }
+
+        // --- Channel estimation from the two LTF bodies. ---
+        let [r1, r2] = preamble::ltf_body_ranges();
+        let y1 = self.engine.demodulate_body(&samples[r1]);
+        let y2 = self.engine.demodulate_body(&samples[r2]);
+        let mut h_est = [Complex::ZERO; 64];
+        let mut noise_acc = 0.0;
+        let mut used = 0usize;
+        for idx in -26..=26i32 {
+            if idx == 0 {
+                continue;
+            }
+            let bin = bin_of(idx);
+            let l = ltf_value(idx);
+            h_est[bin] = (y1.0[bin] + y2.0[bin]).scale(0.5) / l;
+            noise_acc += (y1.0[bin] - y2.0[bin]).norm_sqr() / 2.0;
+            used += 1;
+        }
+        let noise_var_ltf = noise_acc / used as f64;
+
+        // --- SIGNAL symbol. ---
+        let sig_start = PREAMBLE_LEN;
+        let (rate, psdu_len) = match known {
+            Some(pair) => pair,
+            None => {
+                let sig = self.engine.demodulate(&samples[sig_start..sig_start + SYMBOL_LEN]);
+                let mut sig_eq = [Complex::ZERO; NUM_DATA];
+                for (slot, &bin) in sig_eq.iter_mut().zip(data_bins().iter()) {
+                    *slot = sig.0[bin] / nonzero(h_est[bin]);
+                }
+                decode_signal_symbol(&sig_eq, 1.0)?
+            }
+        };
+
+        // --- DATA symbols. ---
+        let n_symbols = rate.data_symbol_count(psdu_len);
+        let have = (samples.len() - sig_start - SYMBOL_LEN) / SYMBOL_LEN;
+        if have < n_symbols {
+            return Err(PhyError::LengthMismatch { need: n_symbols, got: have });
+        }
+        let polarity = Prbs127::pilot_polarity();
+        let mut raw_symbols = Vec::with_capacity(n_symbols);
+        let mut data_y = Vec::with_capacity(n_symbols);
+        let mut equalized = Vec::with_capacity(n_symbols);
+        let mut pilot_noise_acc = 0.0;
+        for n in 0..n_symbols {
+            let start = sig_start + SYMBOL_LEN * (n + 1);
+            let sym = self.engine.demodulate(&samples[start..start + SYMBOL_LEN]);
+
+            // Pilot phase tracking: residual CFO and phase noise rotate
+            // every subcarrier of a symbol by a common phase; estimate it
+            // from the four known pilots and derotate.
+            let p = polarity[(n + 1) % Prbs127::PERIOD] as f64;
+            let mut phase_acc = Complex::ZERO;
+            for (idx, base) in PILOT_INDICES.iter().zip(PILOT_VALUES.iter()) {
+                let bin = bin_of(*idx);
+                let expected = h_est[bin].scale(base * p);
+                phase_acc += sym.0[bin] * expected.conj();
+            }
+            let derotate = if phase_acc.norm_sqr() > 0.0 {
+                Complex::from_angle(-phase_acc.arg())
+            } else {
+                Complex::ONE
+            };
+
+            let mut sym = sym;
+            for bin_value in sym.0.iter_mut() {
+                *bin_value *= derotate;
+            }
+
+            let mut y_row = [Complex::ZERO; NUM_DATA];
+            let mut eq_row = [Complex::ZERO; NUM_DATA];
+            for (sc, &bin) in data_bins().iter().enumerate() {
+                y_row[sc] = sym.0[bin];
+                eq_row[sc] = sym.0[bin] / nonzero(h_est[bin]);
+            }
+
+            // Pilot-aided noise estimation (paper Eq. 5–6), after phase
+            // tracking: n_i = y_i − H_i · x_i with known pilot x_i.
+            for (idx, base) in PILOT_INDICES.iter().zip(PILOT_VALUES.iter()) {
+                let bin = bin_of(*idx);
+                let x = Complex::new(base * p, 0.0);
+                let n_i = sym.0[bin] - h_est[bin] * x;
+                pilot_noise_acc += n_i.norm_sqr();
+            }
+
+            raw_symbols.push(sym);
+            data_y.push(y_row);
+            equalized.push(eq_row);
+        }
+        let noise_var_pilot = if n_symbols == 0 {
+            noise_var_ltf
+        } else {
+            pilot_noise_acc / (n_symbols * PILOT_INDICES.len()) as f64
+        };
+
+        Ok(FrontEnd {
+            h_est,
+            noise_var_ltf,
+            noise_var_pilot,
+            rate,
+            psdu_len,
+            raw_symbols,
+            data_y,
+            equalized,
+        })
+    }
+
+    /// Decodes a front end into bits, applying an optional erasure mask
+    /// (one row per DATA symbol; `true` = silence symbol ⇒ zero LLRs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the erasure mask's length differs from the symbol count.
+    pub fn decode(&self, fe: &FrontEnd, erasures: Option<&[[bool; NUM_DATA]]>) -> RxFrame {
+        if let Some(mask) = erasures {
+            assert_eq!(
+                mask.len(),
+                fe.equalized.len(),
+                "erasure mask rows must match DATA symbol count"
+            );
+        }
+        let modulation = fe.rate.modulation();
+        let nbpsc = fe.rate.nbpsc();
+        let weights = fe.llr_weights();
+
+        let mut llrs = Vec::with_capacity(fe.equalized.len() * fe.rate.ncbps());
+        let mut hard = Vec::with_capacity(llrs.capacity());
+        for (n, row) in fe.equalized.iter().enumerate() {
+            for (sc, &y) in row.iter().enumerate() {
+                let erased = erasures.is_some_and(|m| m[n][sc]);
+                if erased {
+                    llrs.extend(std::iter::repeat_n(0.0, nbpsc));
+                    hard.extend(std::iter::repeat_n(0, nbpsc));
+                } else {
+                    modulation.soft_demap(y, weights[sc], &mut llrs);
+                    hard.extend(modulation.hard_demap(y));
+                }
+            }
+        }
+
+        let decoded = decode_data_field(&llrs, fe.rate, fe.psdu_len);
+        let (data_bits, scrambler_seed) = match decoded {
+            Some(d) => (d.bits, Some(d.scrambler_seed)),
+            None => (Vec::new(), None),
+        };
+        let payload = if data_bits.is_empty() {
+            None
+        } else {
+            extract_payload(&data_bits, fe.psdu_len)
+        };
+
+        RxFrame {
+            front_end: fe.clone(),
+            payload,
+            data_bits,
+            scrambler_seed,
+            hard_coded_bits: hard,
+        }
+    }
+
+    /// Convenience: front end + decode in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PhyError`] from the front end.
+    pub fn receive(&self, samples: &[Complex], config: &RxConfig) -> Result<RxFrame, PhyError> {
+        let fe = self.front_end(samples)?;
+        Ok(self.decode(&fe, config.erasures.as_deref()))
+    }
+
+    /// Receives from a raw stream with unknown frame offset and carrier
+    /// frequency offset: acquires the preamble, corrects the CFO and
+    /// decodes.
+    ///
+    /// # Errors
+    ///
+    /// [`PhyError::NoPreamble`] if acquisition fails, else any front-end
+    /// error.
+    pub fn receive_stream(
+        &self,
+        stream: &[Complex],
+        config: &RxConfig,
+    ) -> Result<(Acquisition, RxFrame), PhyError> {
+        let acq = Synchronizer::default().acquire(stream).ok_or(PhyError::NoPreamble)?;
+        let mut aligned = stream[acq.frame_start..].to_vec();
+        correct_cfo(&mut aligned, acq.cfo_hz);
+        let frame = self.receive(&aligned, config)?;
+        Ok((acq, frame))
+    }
+}
+
+/// Guards equalisation against a zero channel estimate on a dead bin.
+fn nonzero(h: Complex) -> Complex {
+    if h.norm_sqr() < 1e-30 {
+        Complex::new(1e-15, 0.0)
+    } else {
+        h
+    }
+}
+
+/// Ground-truth helper for experiments: the subcarrier indices of the
+/// data bins, re-exported for symbol-position bookkeeping.
+pub fn data_subcarrier_indices() -> [i32; NUM_DATA] {
+    data_indices()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transmitter;
+
+    fn loopback(payload: &[u8], rate: DataRate) -> RxFrame {
+        let frame = Transmitter::new().build_frame(payload, rate, 0x5D);
+        let samples = frame.to_time_samples();
+        Receiver::new().receive(&samples, &RxConfig::ideal()).expect("clean decode")
+    }
+
+    #[test]
+    fn loopback_all_rates() {
+        for rate in DataRate::ALL {
+            let payload: Vec<u8> = (0..100).map(|i| (i * 13) as u8).collect();
+            let rx = loopback(&payload, rate);
+            assert_eq!(rx.payload.as_deref(), Some(payload.as_slice()), "{rate}");
+            assert_eq!(rx.front_end.rate, rate);
+            assert_eq!(rx.scrambler_seed, Some(0x5D));
+        }
+    }
+
+    #[test]
+    fn ideal_channel_estimate_is_unity() {
+        let rx = loopback(b"channel", DataRate::Mbps12);
+        for &bin in data_bins().iter() {
+            let h = rx.front_end.h_est[bin];
+            assert!((h - Complex::ONE).norm() < 1e-9, "bin {bin}: {h}");
+        }
+        assert!(rx.front_end.noise_var_ltf < 1e-18);
+    }
+
+    #[test]
+    fn hard_coded_bits_match_transmitted() {
+        let frame = Transmitter::new().build_frame(b"bit exactness", DataRate::Mbps36, 0x21);
+        let samples = frame.to_time_samples();
+        let rx = Receiver::new().receive(&samples, &RxConfig::ideal()).expect("decode");
+        assert_eq!(rx.hard_coded_bits, frame.data_field.interleaved);
+    }
+
+    #[test]
+    fn too_short_stream_is_rejected() {
+        let err = Receiver::new().receive(&[Complex::ZERO; 100], &RxConfig::ideal());
+        assert!(matches!(err, Err(PhyError::FrameTooShort { .. })));
+    }
+
+    #[test]
+    fn truncated_data_field_is_rejected() {
+        let frame = Transmitter::new().build_frame(&[0u8; 500], DataRate::Mbps6, 0x5D);
+        let samples = frame.to_time_samples();
+        let cut = samples.len() - 3 * SYMBOL_LEN;
+        let err = Receiver::new().receive(&samples[..cut], &RxConfig::ideal());
+        assert!(matches!(err, Err(PhyError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn erasure_mask_recovers_silenced_frame() {
+        // Silence a handful of symbols; without the mask the decoder sees
+        // garbage hard zeros, with it the code bridges the gaps.
+        let mut frame = Transmitter::new().build_frame(&[0x5Au8; 300], DataRate::Mbps24, 0x5D);
+        let n_sym = frame.n_data_symbols();
+        let mut mask = vec![[false; NUM_DATA]; n_sym];
+        for (n, row) in mask.iter_mut().enumerate() {
+            let sc = (n * 7) % NUM_DATA;
+            frame.silence(n, sc);
+            row[sc] = true;
+        }
+        let samples = frame.to_time_samples();
+        let rx = Receiver::new()
+            .receive(&samples, &RxConfig::with_erasures(mask))
+            .expect("front end ok");
+        assert!(rx.crc_ok(), "EVD must bridge one silence per symbol");
+    }
+
+    #[test]
+    fn silences_without_mask_can_still_decode_if_sparse() {
+        // One silence per 4 symbols: even error-only decoding survives,
+        // because the wrong hard bits are few.
+        let mut frame = Transmitter::new().build_frame(&[0xC3u8; 300], DataRate::Mbps12, 0x5D);
+        for n in (0..frame.n_data_symbols()).step_by(4) {
+            frame.silence(n, 5);
+        }
+        let samples = frame.to_time_samples();
+        let rx = Receiver::new().receive(&samples, &RxConfig::ideal()).expect("front end ok");
+        assert!(rx.crc_ok());
+    }
+
+    #[test]
+    fn measured_snr_is_high_on_clean_channel() {
+        let rx = loopback(b"snr", DataRate::Mbps12);
+        assert!(rx.front_end.measured_snr_db() > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "erasure mask rows")]
+    fn wrong_mask_length_panics() {
+        let frame = Transmitter::new().build_frame(b"mask", DataRate::Mbps6, 0x5D);
+        let samples = frame.to_time_samples();
+        let receiver = Receiver::new();
+        let fe = receiver.front_end(&samples).expect("front end");
+        receiver.decode(&fe, Some(&[[false; NUM_DATA]; 1]));
+    }
+}

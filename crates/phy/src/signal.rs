@@ -1,0 +1,153 @@
+//! The SIGNAL field (Clause 17.3.4): one BPSK rate-1/2 OFDM symbol carrying
+//! RATE (4 bits), a reserved bit, LENGTH (12 bits), even parity and six
+//! tail bits. It is convolutionally encoded and interleaved but **not**
+//! scrambled.
+
+use crate::constellation::Modulation;
+use crate::error::PhyError;
+use crate::rates::DataRate;
+use cos_dsp::Complex;
+use cos_fec::bits::{push_field, read_field};
+use cos_fec::{ConvEncoder, Interleaver, ViterbiDecoder};
+
+/// Number of information bits in the SIGNAL field.
+pub const SIGNAL_BITS: usize = 24;
+
+/// Builds the 24 SIGNAL bits for a frame.
+///
+/// # Panics
+///
+/// Panics if `length_bytes` exceeds the 12-bit LENGTH field (4095).
+pub fn signal_bits(rate: DataRate, length_bytes: usize) -> [u8; SIGNAL_BITS] {
+    assert!(length_bytes <= 0xFFF, "LENGTH field is 12 bits, got {length_bytes}");
+    let mut bits = Vec::with_capacity(SIGNAL_BITS);
+    bits.extend_from_slice(&rate.signal_bits());
+    bits.push(0); // reserved
+    push_field(&mut bits, length_bytes as u32, 12);
+    let parity = bits.iter().fold(0u8, |p, &b| p ^ b);
+    bits.push(parity);
+    bits.extend_from_slice(&[0; 6]); // tail
+    bits.try_into().expect("24 bits by construction")
+}
+
+/// Parses 24 decoded SIGNAL bits.
+///
+/// # Errors
+///
+/// [`PhyError::SignalParity`] on a parity failure,
+/// [`PhyError::ReservedRate`] if the RATE pattern is reserved.
+pub fn parse_signal_bits(bits: &[u8; SIGNAL_BITS]) -> Result<(DataRate, usize), PhyError> {
+    let parity = bits[..18].iter().fold(0u8, |p, &b| p ^ b);
+    if parity != 0 {
+        return Err(PhyError::SignalParity);
+    }
+    let rate = DataRate::from_signal_bits([bits[0], bits[1], bits[2], bits[3]])
+        .ok_or(PhyError::ReservedRate)?;
+    let length = read_field(bits, 5, 12) as usize;
+    Ok((rate, length))
+}
+
+/// Encodes the SIGNAL bits to 48 BPSK constellation points (rate 1/2,
+/// interleaved) ready for [`crate::ofdm::FreqSymbol::assemble`].
+pub fn encode_signal_symbol(rate: DataRate, length_bytes: usize) -> Vec<Complex> {
+    let bits = signal_bits(rate, length_bytes);
+    let coded = ConvEncoder::new().encode(&bits);
+    let interleaved = Interleaver::new(48, 1).interleave(&coded);
+    interleaved.iter().map(|&b| Modulation::Bpsk.map(&[b])).collect()
+}
+
+/// Decodes 48 equalised SIGNAL points back to `(rate, length)`.
+///
+/// `weight` is the LLR reliability scale (uniform across the symbol is
+/// fine for the SIGNAL field).
+///
+/// # Errors
+///
+/// Propagates the parity/rate errors of [`parse_signal_bits`].
+pub fn decode_signal_symbol(points: &[Complex; 48], weight: f64) -> Result<(DataRate, usize), PhyError> {
+    let mut llrs = Vec::with_capacity(48);
+    for p in points {
+        Modulation::Bpsk.soft_demap(*p, weight, &mut llrs);
+    }
+    let deinterleaved = Interleaver::new(48, 1).deinterleave_soft(&llrs);
+    let decoded = ViterbiDecoder::new().decode(&deinterleaved, true);
+    let bits: [u8; SIGNAL_BITS] = decoded.try_into().expect("24 data bits from 48 coded");
+    parse_signal_bits(&bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_layout() {
+        let bits = signal_bits(DataRate::Mbps24, 1024);
+        assert_eq!(&bits[..4], &DataRate::Mbps24.signal_bits());
+        assert_eq!(bits[4], 0);
+        assert_eq!(read_field(&bits, 5, 12), 1024);
+        assert_eq!(&bits[18..], &[bits[17] ^ bits[17], 0, 0, 0, 0, 0][..]); // tail zeros
+    }
+
+    #[test]
+    fn parity_is_even() {
+        for rate in DataRate::ALL {
+            for len in [0usize, 1, 77, 1024, 4095] {
+                let bits = signal_bits(rate, len);
+                let ones: u32 = bits[..18].iter().map(|&b| b as u32).sum();
+                assert_eq!(ones % 2, 0, "{rate} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_constellation() {
+        for rate in DataRate::ALL {
+            let points = encode_signal_symbol(rate, 1500);
+            let arr: [Complex; 48] = points.try_into().expect("48 points");
+            let (r, l) = decode_signal_symbol(&arr, 1.0).expect("clean decode");
+            assert_eq!(r, rate);
+            assert_eq!(l, 1500);
+        }
+    }
+
+    #[test]
+    fn corrupted_parity_is_detected() {
+        let mut bits = signal_bits(DataRate::Mbps12, 100);
+        bits[6] ^= 1;
+        assert_eq!(parse_signal_bits(&bits), Err(PhyError::SignalParity));
+    }
+
+    #[test]
+    fn reserved_rate_is_detected() {
+        let mut bits = signal_bits(DataRate::Mbps12, 100);
+        // Overwrite RATE with a reserved pattern (0000) and fix parity.
+        let old_parity: u8 = bits[..18].iter().fold(0, |p, &b| p ^ b);
+        bits[0] = 0;
+        bits[1] = 0;
+        bits[2] = 0;
+        bits[3] = 0;
+        let new_parity: u8 = bits[..18].iter().fold(0, |p, &b| p ^ b);
+        bits[17] ^= old_parity ^ new_parity;
+        assert_eq!(parse_signal_bits(&bits), Err(PhyError::ReservedRate));
+    }
+
+    #[test]
+    fn survives_moderate_noise() {
+        let points = encode_signal_symbol(DataRate::Mbps54, 2047);
+        let mut arr: [Complex; 48] = points.try_into().expect("48 points");
+        // Attenuate and perturb a few points; rate-1/2 BPSK is robust.
+        for (i, p) in arr.iter_mut().enumerate() {
+            let jitter = if i % 7 == 0 { -0.6 } else { 0.2 };
+            *p += Complex::new(jitter, -jitter / 2.0);
+        }
+        let (r, l) = decode_signal_symbol(&arr, 1.0).expect("decode under noise");
+        assert_eq!(r, DataRate::Mbps54);
+        assert_eq!(l, 2047);
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn oversized_length_panics() {
+        signal_bits(DataRate::Mbps6, 5000);
+    }
+}

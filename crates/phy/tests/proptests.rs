@@ -1,0 +1,101 @@
+//! Property-based tests for the 802.11a PHY.
+
+use cos_phy::constellation::Modulation;
+use cos_phy::frame::{build_data_field, decode_data_field, extract_payload, payload_to_psdu};
+use cos_phy::ofdm::{FreqSymbol, OfdmEngine};
+use cos_phy::rates::DataRate;
+use cos_dsp::Complex;
+use proptest::prelude::*;
+
+fn arb_modulation() -> impl Strategy<Value = Modulation> {
+    proptest::sample::select(Modulation::ALL.to_vec())
+}
+
+fn arb_rate() -> impl Strategy<Value = DataRate> {
+    proptest::sample::select(DataRate::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn map_demap_is_identity(m in arb_modulation(), idx in 0usize..64) {
+        let n = m.bits_per_symbol();
+        let idx = idx % m.points_count();
+        let bits: Vec<u8> = (0..n).map(|i| ((idx >> (n - 1 - i)) & 1) as u8).collect();
+        prop_assert_eq!(m.hard_demap(m.map(&bits)), bits);
+    }
+
+    #[test]
+    fn soft_demap_sign_matches_hard_decision(
+        m in arb_modulation(),
+        re in -1.5f64..1.5,
+        im in -1.5f64..1.5,
+    ) {
+        // For any received point, the per-bit LLR sign must agree with the
+        // nearest-point hard decision (max-log consistency).
+        let y = Complex::new(re, im);
+        let hard = m.hard_demap(y);
+        let mut llrs = Vec::new();
+        m.soft_demap(y, 1.0, &mut llrs);
+        for (i, (&b, &l)) in hard.iter().zip(&llrs).enumerate() {
+            if l != 0.0 {
+                prop_assert_eq!(b, (l < 0.0) as u8, "bit {} of {:?} at {}", i, m, y);
+            }
+        }
+    }
+
+    #[test]
+    fn ofdm_roundtrip_arbitrary_points(seed in any::<u64>(), polarity in prop_oneof![Just(1i8), Just(-1i8)]) {
+        let mut x = seed | 1;
+        let points: Vec<Complex> = (0..48).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Complex::new(((x >> 32) as i32 as f64) / (1u64 << 31) as f64,
+                         ((x & 0xFFFF_FFFF) as i32 as f64) / (1u64 << 31) as f64)
+        }).collect();
+        let engine = OfdmEngine::new();
+        let sym = FreqSymbol::assemble(&points, polarity);
+        let rx = engine.demodulate(&engine.modulate(&sym));
+        for (a, b) in sym.0.iter().zip(rx.0.iter()) {
+            prop_assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn data_field_roundtrip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        rate in arb_rate(),
+        seed in 1u8..0x80,
+    ) {
+        let psdu = payload_to_psdu(&payload);
+        let df = build_data_field(&psdu, rate, seed);
+        let llrs: Vec<f64> = df.interleaved.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let decoded = decode_data_field(&llrs, rate, psdu.len()).expect("decodes");
+        prop_assert_eq!(decoded.scrambler_seed, seed);
+        prop_assert_eq!(extract_payload(&decoded.bits, psdu.len()), Some(payload));
+    }
+
+    #[test]
+    fn frame_survives_scattered_erasures(
+        payload in proptest::collection::vec(any::<u8>(), 50..200),
+        stride in 25usize..60,
+    ) {
+        let rate = DataRate::Mbps24;
+        let psdu = payload_to_psdu(&payload);
+        let df = build_data_field(&psdu, rate, 0x5D);
+        let mut llrs: Vec<f64> = df.interleaved.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        for i in (0..llrs.len()).step_by(stride) {
+            llrs[i] = 0.0;
+        }
+        let decoded = decode_data_field(&llrs, rate, psdu.len()).expect("decodes");
+        prop_assert_eq!(extract_payload(&decoded.bits, psdu.len()), Some(payload));
+    }
+
+    #[test]
+    fn airtime_monotonically_decreases_with_rate(bytes in 1usize..2000) {
+        let times: Vec<f64> = DataRate::ALL.iter().map(|r| r.frame_airtime_us(bytes)).collect();
+        for w in times.windows(2) {
+            prop_assert!(w[1] <= w[0], "faster rate must not take longer: {:?}", times);
+        }
+    }
+}

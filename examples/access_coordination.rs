@@ -1,0 +1,96 @@
+//! Access coordination over free control messages — the paper's
+//! motivating application.
+//!
+//! An AP streams data frames to a station and piggybacks a tiny TDMA-like
+//! schedule in every frame: the ID of the station allowed to transmit in
+//! the next service slot plus a 4-bit congestion level. Normally this
+//! would cost explicit control frames (airtime); with CoS it rides in the
+//! silence-symbol intervals of frames that were being sent anyway.
+//!
+//! ```bash
+//! cargo run --release --example access_coordination
+//! ```
+
+use cos::core::session::{CosSession, SessionConfig};
+use cos::phy::rates::DataRate;
+
+/// The 12-bit schedule announcement: next station (8 bits) + congestion
+/// level (4 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Announcement {
+    next_station: u8,
+    congestion: u8,
+}
+
+impl Announcement {
+    fn to_bits(self) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(12);
+        for i in (0..8).rev() {
+            bits.push((self.next_station >> i) & 1);
+        }
+        for i in (0..4).rev() {
+            bits.push((self.congestion >> i) & 1);
+        }
+        bits
+    }
+
+    fn from_bits(bits: &[u8]) -> Option<Self> {
+        if bits.len() != 12 {
+            return None;
+        }
+        let next_station = bits[..8].iter().fold(0u8, |v, &b| (v << 1) | b);
+        let congestion = bits[8..12].iter().fold(0u8, |v, &b| (v << 1) | b);
+        Some(Announcement { next_station, congestion })
+    }
+}
+
+fn main() {
+    let mut session = CosSession::new(
+        SessionConfig { snr_db: 19.0, rate: Some(DataRate::Mbps12), ..Default::default() },
+        7,
+    );
+
+    // Simulated round-robin scheduler state at the AP.
+    let stations = [0x11u8, 0x22, 0x33, 0x44];
+    let mut delivered = 0u32;
+    let mut airtime_saved_us = 0.0f64;
+
+    // Warm-up: establish channel feedback.
+    session.send_packet(&[0u8; 800], &[]);
+
+    println!("slot  station  congestion  data  control  note");
+    for slot in 0..16 {
+        let announcement = Announcement {
+            next_station: stations[(slot + 1) % stations.len()],
+            congestion: (slot % 7) as u8,
+        };
+        // The AP's ordinary downlink traffic for this slot.
+        let data: Vec<u8> = (0..800).map(|i| ((i + slot * 13) % 251) as u8).collect();
+
+        let report = session.send_packet(&data, &announcement.to_bits());
+        let received = report
+            .control_bits
+            .as_deref()
+            .and_then(Announcement::from_bits);
+
+        let got_it = received == Some(announcement);
+        delivered += got_it as u32;
+        // An explicit control frame for 2 bytes at 6 Mbps costs ≥ 28 µs of
+        // preamble + SIGNAL + 1 symbol, plus a DIFS+backoff (~50 µs).
+        if got_it {
+            airtime_saved_us += 78.0;
+        }
+        println!(
+            "{slot:>4}  0x{:02X}     {:>10}  {:>4}  {:>7}  {}",
+            announcement.next_station,
+            announcement.congestion,
+            if report.data_ok { "ok" } else { "LOST" },
+            if got_it { "ok" } else { "LOST" },
+            if got_it { "schedule delivered for free" } else { "fall back to explicit frame" },
+        );
+    }
+
+    println!("\ndelivered {delivered}/16 schedule announcements inside ordinary data frames");
+    println!("explicit-control airtime avoided: ~{airtime_saved_us:.0} µs");
+    assert!(delivered >= 14, "coordination channel should be reliable mid-band");
+}

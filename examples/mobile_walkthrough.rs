@@ -1,0 +1,59 @@
+//! A mobile walkthrough: the channel evolves at walking speed while a CoS
+//! session keeps streaming. Shows the feedback loop at work — measured
+//! SNR, selected rate, control subcarriers and silence budget all track
+//! the channel.
+//!
+//! ```bash
+//! cargo run --release --example mobile_walkthrough
+//! ```
+
+use cos::channel::ChannelConfig;
+use cos::core::session::{CosSession, SessionConfig};
+
+fn main() {
+    // A livelier channel than the default lab: more diffuse energy and
+    // packets spaced 10 ms apart, so the subcarrier ranking drifts during
+    // the run.
+    let channel = ChannelConfig { k_factor: 30.0, doppler_hz: 26.0, ..ChannelConfig::default() };
+    let mut session = CosSession::new(
+        SessionConfig {
+            snr_db: 21.0,
+            channel,
+            packet_interval: 10e-3,
+            ..Default::default()
+        },
+        314,
+    );
+
+    let control = vec![0, 1, 1, 0, 1, 0, 0, 1];
+    session.send_packet(&[0u8; 900], &control); // warm-up
+
+    let mut data_ok = 0u32;
+    let mut control_ok = 0u32;
+    let total = 40;
+    println!("pkt  t(ms)  measured(dB)  rate        budget  subcarriers");
+    for p in 0..total {
+        let report = session.send_packet(&[0u8; 900], &control);
+        data_ok += report.data_ok as u32;
+        control_ok += report.control_ok as u32;
+        if p % 5 == 0 {
+            println!(
+                "{p:>3}  {:>5}  {:>12.1}  {:<10}  {:>6}  {:?}",
+                p * 10,
+                report.measured_snr_db,
+                format!("{}Mbps", report.rate.mbps()),
+                session.silence_budget(1024),
+                report.selected,
+            );
+        }
+    }
+
+    println!("\nover {total} packets at walking speed:");
+    println!("  data delivered    : {data_ok}/{total}");
+    println!("  control delivered : {control_ok}/{total}");
+    println!("  (selection re-derived from per-subcarrier EVM after every CRC pass)");
+    println!("  note: control delivery dips at 16/64QAM band edges, where few");
+    println!("  subcarriers clear the modulation's detectability floor — see");
+    println!("  EXPERIMENTS.md for the full characterisation.");
+    assert!(data_ok * 4 >= total * 3, "data plane should stay mostly up while walking");
+}

@@ -1,0 +1,24 @@
+//! # CoS — Communication through Symbol Silence
+//!
+//! A complete Rust reproduction of *"Communication through Symbol Silence:
+//! Towards Free Control Messages in Indoor WLANs"* (ICDCS 2017), including
+//! the full IEEE 802.11a physical layer the paper's Sora prototype runs on.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`dsp`] — complex arithmetic, FFT, noise sources, statistics,
+//! * [`fec`] — scrambler, convolutional code, interleaver, (erasure) Viterbi,
+//! * [`phy`] — the 802.11a OFDM TX/RX chains and EVM instrumentation,
+//! * [`channel`] — indoor multipath/AWGN/interference channel models,
+//! * [`core`] — CoS itself: silence-symbol control messaging.
+//!
+//! # Quick start
+//!
+//! See `examples/quickstart.rs` for an end-to-end packet carrying a free
+//! control message across a fading channel.
+
+pub use cos_channel as channel;
+pub use cos_core as core;
+pub use cos_dsp as dsp;
+pub use cos_fec as fec;
+pub use cos_phy as phy;

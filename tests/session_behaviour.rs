@@ -1,0 +1,135 @@
+//! Integration tests of the full CoS session: feedback loop, rate
+//! adaptation, control-message delivery and interference behaviour.
+
+use cos::channel::link::NOMINAL_TX_POWER;
+use cos::channel::{ChannelConfig, Link, PulseInterferer};
+use cos::core::session::{CosSession, SessionConfig};
+use cos::phy::rates::DataRate;
+use cos::phy::rx::Receiver;
+use cos::phy::tx::Transmitter;
+
+fn message(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 3 + 1) % 4 == 0) as u8).collect()
+}
+
+#[test]
+fn sustained_session_delivers_control_messages() {
+    // Mid-band QPSK operation: the regime the paper's detection-accuracy
+    // experiments run in. (At the *bottom edge* of the 16/64QAM bands the
+    // detectable-subcarrier budget shrinks and control accuracy degrades —
+    // a reproduction finding recorded in EXPERIMENTS.md.)
+    let mut session = CosSession::new(
+        SessionConfig { snr_db: 18.0, rate: Some(DataRate::Mbps12), ..Default::default() },
+        2024,
+    );
+    let msg = message(24);
+    session.send_packet(&[0x42; 800], &msg); // warm-up establishes feedback
+    let mut delivered = 0;
+    let total = 30;
+    for _ in 0..total {
+        let r = session.send_packet(&[0x42; 800], &msg);
+        delivered += r.control_ok as u32;
+    }
+    assert!(delivered * 100 >= total * 95, "control delivery {delivered}/{total}");
+}
+
+#[test]
+fn session_control_capacity_scales_with_message_size() {
+    let mut session =
+        CosSession::new(SessionConfig { snr_db: 18.0, rate: Some(DataRate::Mbps12), ..Default::default() }, 7);
+    session.send_packet(&[1; 1000], &[]);
+    for bits in [8usize, 32, 64] {
+        let r = session.send_packet(&[1; 1000], &message(bits));
+        assert_eq!(r.silences_sent, 1 + bits / 4);
+        assert!(r.data_ok, "data must survive {bits} control bits");
+    }
+}
+
+#[test]
+fn rate_adapts_down_when_channel_degrades() {
+    // Two sessions over the same seed, different SNR: the poorer link
+    // must settle on a slower rate.
+    let mut fast = CosSession::new(SessionConfig { snr_db: 26.0, ..Default::default() }, 55);
+    let mut slow = CosSession::new(SessionConfig { snr_db: 10.0, ..Default::default() }, 55);
+    for _ in 0..4 {
+        fast.send_packet(&[0; 500], &message(8));
+        slow.send_packet(&[0; 500], &message(8));
+    }
+    assert!(fast.current_rate().mbps() > slow.current_rate().mbps());
+}
+
+#[test]
+fn strong_interference_breaks_detection_but_not_quiet_links() {
+    let quiet_session =
+        run_with_interference(None, 16.0, 99);
+    let loud_session = run_with_interference(
+        Some(PulseInterferer::new(NOMINAL_TX_POWER * 31.6, 0.4, 80, 1234)),
+        16.0,
+        99,
+    );
+    assert!(quiet_session >= 14, "quiet link delivered only {quiet_session}/15");
+    assert!(
+        loud_session < quiet_session,
+        "interference should reduce delivery: {loud_session} vs {quiet_session}"
+    );
+}
+
+/// Runs 15 packets through a raw TX/RX + detection pipeline with an
+/// optional interferer; returns how many delivered their control message.
+fn run_with_interference(interferer: Option<PulseInterferer>, snr_db: f64, seed: u64) -> u32 {
+    use cos::core::energy_detector::EnergyDetector;
+    use cos::core::interval::IntervalCodec;
+    use cos::core::power_controller::PowerController;
+
+    let mut link = Link::new(ChannelConfig::default(), snr_db, seed);
+    // Probe first (before attaching interference) so the selection is the
+    // weakest-detectable set the CoS feedback loop would pick.
+    let selected = {
+        let probe = Transmitter::new().build_frame(&[0u8; 200], DataRate::Mbps12, 0x11);
+        let rx = link.transmit(&probe.to_time_samples());
+        let fe = Receiver::new().front_end(&rx).expect("probe front end");
+        let snrs = fe.per_subcarrier_snr();
+        let mut by_snr: Vec<usize> = (0..48).collect();
+        by_snr.sort_by(|&a, &b| snrs[b].total_cmp(&snrs[a]));
+        let mut sel: Vec<usize> = by_snr.into_iter().take(6).collect();
+        sel.sort_unstable();
+        sel
+    };
+    if let Some(i) = interferer {
+        link = link.with_interferer(i);
+    }
+    let codec = IntervalCodec::default();
+    let controller = PowerController::new(codec);
+    let detector = EnergyDetector::default();
+    let msg = message(16);
+
+    let mut delivered = 0;
+    for p in 0..15 {
+        let mut frame =
+            Transmitter::new().build_frame(&[0x7E; 700], DataRate::Mbps12, (p % 126 + 1) as u8);
+        controller.embed(&mut frame, &selected, &msg).expect("fits");
+        let samples = link.transmit(&frame.to_time_samples());
+        if let Ok(fe) = Receiver::new().front_end(&samples) {
+            let detection = detector.detect(&fe, &selected);
+            if detection.control_bits(&codec).as_deref() == Some(msg.as_slice()) {
+                delivered += 1;
+            }
+        }
+        link.channel_mut().advance(1e-3);
+    }
+    delivered
+}
+
+#[test]
+fn feedback_failure_falls_back_to_lowest_control_rate() {
+    // A session at hopeless SNR: data packets fail, so the adapter must
+    // fall back; the budget equals the fallback rate's allocation.
+    let mut session =
+        CosSession::new(SessionConfig { snr_db: -5.0, rate: Some(DataRate::Mbps12), ..Default::default() }, 3);
+    let r = session.send_packet(&[0; 600], &[]);
+    assert!(!r.data_ok);
+    let budget_after_failure = session.silence_budget(1024);
+    let fresh = CosSession::new(SessionConfig { snr_db: 26.0, rate: Some(DataRate::Mbps12), ..Default::default() }, 3);
+    // A fresh session has no feedback either, so both sit at the fallback.
+    assert_eq!(budget_after_failure, fresh.silence_budget(1024));
+}
