@@ -8,7 +8,7 @@
 //! the paper observes per-subcarrier EVM stable over tens of milliseconds
 //! (Fig. 7) despite mobility.
 
-use cos_dsp::fft::Fft;
+use cos_dsp::fft::plan;
 use cos_dsp::{Complex, GaussianSource};
 
 /// Configuration of the indoor tapped-delay-line channel.
@@ -179,7 +179,7 @@ impl IndoorChannel {
         for (l, h) in self.taps().into_iter().enumerate() {
             bins[l] = h;
         }
-        Fft::new(64).forward(&mut bins);
+        plan(64).forward(&mut bins);
         bins
     }
 }

@@ -2,10 +2,12 @@
 //!
 //! 802.11a OFDM uses 64-point transforms; this implementation supports any
 //! power-of-two length so the tests can cross-check against a direct DFT at
-//! several sizes. Twiddle factors for the 64-point case dominate the
-//! simulator's hot path, so a per-call twiddle table is precomputed once per
-//! length by [`Fft::new`]; the free functions [`fft`]/[`ifft`] are convenience
-//! wrappers that build a plan on the fly.
+//! several sizes. Twiddle factors and the bit-reversal permutation are
+//! precomputed by [`Fft::new`] (in both directions, so the butterfly loop
+//! never branches on direction), the trivial first two stages (twiddles
+//! `1` and `±i`) are specialised to pure additions, and [`plan`] hands out
+//! `'static` cached plans so the hot 64-point case never rebuilds its
+//! tables. The free functions [`fft`]/[`ifft`] use that cache.
 //!
 //! # Conventions
 //!
@@ -15,6 +17,7 @@
 //! the `1/N` factor.
 
 use crate::complex::Complex;
+use std::sync::OnceLock;
 
 /// A reusable FFT plan for a fixed power-of-two length.
 ///
@@ -35,6 +38,9 @@ pub struct Fft {
     n: usize,
     /// Twiddles `e^{-i2πj/N}` for `j in 0..N/2` (forward direction).
     twiddles: Vec<Complex>,
+    /// Conjugate twiddles `e^{+i2πj/N}`, so the butterfly loop never
+    /// branches on transform direction.
+    inv_twiddles: Vec<Complex>,
     /// Bit-reversal permutation indices.
     rev: Vec<u32>,
 }
@@ -47,14 +53,15 @@ impl Fft {
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
-        let twiddles = (0..n / 2)
+        let twiddles: Vec<Complex> = (0..n / 2)
             .map(|j| Complex::from_angle(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
             .collect();
+        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
-        Fft { n, twiddles, rev }
+        Fft { n, twiddles, inv_twiddles, rev }
     }
 
     /// The transform length this plan was built for.
@@ -73,7 +80,7 @@ impl Fft {
     ///
     /// Panics if `buf.len()` differs from the plan length.
     pub fn forward(&self, buf: &mut [Complex]) {
-        self.transform(buf, false);
+        self.transform(buf, &self.twiddles, false);
     }
 
     /// In-place inverse DFT including the `1/N` normalisation.
@@ -82,37 +89,61 @@ impl Fft {
     ///
     /// Panics if `buf.len()` differs from the plan length.
     pub fn inverse(&self, buf: &mut [Complex]) {
-        self.transform(buf, true);
+        self.transform(buf, &self.inv_twiddles, true);
         let scale = 1.0 / self.n as f64;
         for x in buf.iter_mut() {
             *x = x.scale(scale);
         }
     }
 
-    fn transform(&self, buf: &mut [Complex], inverse: bool) {
+    fn transform(&self, buf: &mut [Complex], twiddles: &[Complex], inverse: bool) {
         assert_eq!(buf.len(), self.n, "buffer length {} != plan length {}", buf.len(), self.n);
+        let n = self.n;
         // Bit-reversal permutation.
-        for i in 0..self.n {
-            let j = self.rev[i] as usize;
+        for (i, &j) in self.rev.iter().enumerate() {
+            let j = j as usize;
             if i < j {
                 buf.swap(i, j);
             }
         }
-        // Iterative Cooley–Tukey butterflies.
-        let mut len = 2;
-        while len <= self.n {
+        // Stage len=2: the only twiddle is 1 — pure add/subtract.
+        for pair in buf.chunks_exact_mut(2) {
+            let (a, b) = (pair[0], pair[1]);
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+        // Stage len=4: twiddles are 1 and ∓i — a swap and sign flip
+        // instead of a complex multiply.
+        if n >= 4 {
+            for quad in buf.chunks_exact_mut(4) {
+                let (a, b) = (quad[0], quad[2]);
+                quad[0] = a + b;
+                quad[2] = a - b;
+                let c = quad[1];
+                // d·(−i) forward, d·(+i) inverse.
+                let d = if inverse {
+                    Complex::new(-quad[3].im, quad[3].re)
+                } else {
+                    Complex::new(quad[3].im, -quad[3].re)
+                };
+                quad[1] = c + d;
+                quad[3] = c - d;
+            }
+        }
+        // Remaining Cooley–Tukey stages with precomputed twiddles.
+        let mut len = 8;
+        while len <= n {
             let half = len / 2;
-            let step = self.n / len;
-            for start in (0..self.n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * step];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
+            let step = n / len;
+            for chunk in buf.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a_ref, b_ref), &w) in
+                    lo.iter_mut().zip(hi.iter_mut()).zip(twiddles.iter().step_by(step))
+                {
+                    let a = *a_ref;
+                    let b = *b_ref * w;
+                    *a_ref = a + b;
+                    *b_ref = a - b;
                 }
             }
             len <<= 1;
@@ -120,24 +151,56 @@ impl Fft {
     }
 }
 
-/// One-shot forward FFT; builds a plan internally.
+/// The number of power-of-two lengths the [`plan`] cache covers
+/// (`2^0 ..= 2^16`); larger transforms fall back to a fresh plan in
+/// [`fft`]/[`ifft`].
+const PLAN_CACHE_SLOTS: usize = 17;
+
+static PLANS: [OnceLock<Fft>; PLAN_CACHE_SLOTS] =
+    [const { OnceLock::new() }; PLAN_CACHE_SLOTS];
+
+/// Returns the process-wide cached plan for length `n`, building it on
+/// first use. The 64-point OFDM transform hits this cache on every symbol,
+/// so callers in loops can simply call [`plan`] instead of threading an
+/// [`Fft`] value through.
 ///
-/// Prefer constructing an [`Fft`] plan once in loops.
+/// # Panics
+///
+/// Panics if `n` is zero, not a power of two, or larger than `2^16`.
+pub fn plan(n: usize) -> &'static Fft {
+    assert!(n.is_power_of_two() && n > 0, "FFT length must be a power of two, got {n}");
+    let log2 = n.trailing_zeros() as usize;
+    assert!(log2 < PLAN_CACHE_SLOTS, "plan cache covers lengths up to 2^16, got {n}");
+    PLANS[log2].get_or_init(|| Fft::new(n))
+}
+
+/// One-shot forward FFT using the process-wide [`plan`] cache (falling
+/// back to a fresh plan for lengths beyond the cache).
 ///
 /// # Panics
 ///
 /// Panics if the length is zero or not a power of two.
 pub fn fft(buf: &mut [Complex]) {
-    Fft::new(buf.len()).forward(buf);
+    if (buf.len().trailing_zeros() as usize) < PLAN_CACHE_SLOTS {
+        plan(buf.len()).forward(buf);
+    } else {
+        Fft::new(buf.len()).forward(buf);
+    }
 }
 
-/// One-shot inverse FFT (with `1/N` normalisation); builds a plan internally.
+/// One-shot inverse FFT (with `1/N` normalisation) using the process-wide
+/// [`plan`] cache (falling back to a fresh plan for lengths beyond the
+/// cache).
 ///
 /// # Panics
 ///
 /// Panics if the length is zero or not a power of two.
 pub fn ifft(buf: &mut [Complex]) {
-    Fft::new(buf.len()).inverse(buf);
+    if (buf.len().trailing_zeros() as usize) < PLAN_CACHE_SLOTS {
+        plan(buf.len()).inverse(buf);
+    } else {
+        Fft::new(buf.len()).inverse(buf);
+    }
 }
 
 /// Direct O(N²) DFT used as a reference in tests and available for
@@ -257,9 +320,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_plan_is_bit_identical_to_fresh_plan() {
+        // The `plan` cache must be a pure memoisation: identical outputs,
+        // down to the last bit, to a freshly built plan.
+        for &n in &[2usize, 4, 8, 64, 256] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+                .collect();
+            let (mut cached, mut fresh) = (input.clone(), input.clone());
+            plan(n).forward(&mut cached);
+            Fft::new(n).forward(&mut fresh);
+            assert_eq!(cached, fresh, "forward n={n}");
+            plan(n).inverse(&mut cached);
+            Fft::new(n).inverse(&mut fresh);
+            assert_eq!(cached, fresh, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_returns_the_same_instance() {
+        assert!(std::ptr::eq(plan(64), plan(64)));
+        assert_eq!(plan(64).len(), 64);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
         Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_power_of_two() {
+        plan(48);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   isolates the coding cost of the erased symbols.
 
 use crate::harness::{
-    max_silence_rate, paper_channel, probe_channel, Placement, TrialConfig,
+    max_silence_rate, paper_channel, probe_channel, run_trials, Placement, TrialConfig,
 };
 use crate::table::{fmt, Table};
 use cos_channel::Link;
@@ -48,33 +48,42 @@ pub fn run_evd(cfg: &Config) -> Table {
         "max silences/packet at PRR >= 99.3%: erasure decoding vs error-only decoding",
         &["snr_db", "rate", "rm_evd_per_packet", "rm_error_only_per_packet", "advantage"],
     );
-    for &snr in &cfg.snr_grid {
-        for seed in 0..cfg.seeds_per_point {
-            let rng_seed = 40_000 + seed * 97;
-            let mut link = Link::new(paper_channel(), snr, rng_seed);
-            let probe = probe_channel(&mut link);
-            let rate = probe.selected_rate;
+    // Each (SNR, seed) cell runs its two capacity searches as one
+    // independent parallel trial; rows are pushed in cell order.
+    let cells: Vec<(f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .flat_map(|&snr| (0..cfg.seeds_per_point).map(move |seed| (snr, seed)))
+        .collect();
+    let rows = run_trials(cells.len(), |t| {
+        let (snr, seed) = cells[t];
+        let rng_seed = 40_000 + seed * 97;
+        let mut link = Link::new(paper_channel(), snr, rng_seed);
+        let probe = probe_channel(&mut link);
+        let rate = probe.selected_rate;
 
-            let evd_base = TrialConfig { use_erasures: true, ..TrialConfig::paper(rate, 0) };
-            let evd = max_silence_rate(&mut link, &evd_base, cfg.packets, rng_seed + 1);
+        let evd_base = TrialConfig { use_erasures: true, ..TrialConfig::paper(rate, 0) };
+        let evd = max_silence_rate(&mut link, &evd_base, cfg.packets, rng_seed + 1);
 
-            let mut link2 = Link::new(paper_channel(), snr, rng_seed);
-            let err_base = TrialConfig { use_erasures: false, ..TrialConfig::paper(rate, 0) };
-            let err = max_silence_rate(&mut link2, &err_base, cfg.packets, rng_seed + 1);
+        let mut link2 = Link::new(paper_channel(), snr, rng_seed);
+        let err_base = TrialConfig { use_erasures: false, ..TrialConfig::paper(rate, 0) };
+        let err = max_silence_rate(&mut link2, &err_base, cfg.packets, rng_seed + 1);
 
-            let advantage = if err.silences_per_packet == 0 {
-                "inf".to_string()
-            } else {
-                fmt(evd.silences_per_packet as f64 / err.silences_per_packet as f64, 2)
-            };
-            table.push_row(vec![
-                fmt(probe.measured_snr_db, 1),
-                format!("{}Mbps", rate.mbps()),
-                evd.silences_per_packet.to_string(),
-                err.silences_per_packet.to_string(),
-                advantage,
-            ]);
-        }
+        let advantage = if err.silences_per_packet == 0 {
+            "inf".to_string()
+        } else {
+            fmt(evd.silences_per_packet as f64 / err.silences_per_packet as f64, 2)
+        };
+        vec![
+            fmt(probe.measured_snr_db, 1),
+            format!("{}Mbps", rate.mbps()),
+            evd.silences_per_packet.to_string(),
+            err.silences_per_packet.to_string(),
+            advantage,
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -87,35 +96,44 @@ pub fn run_placement(cfg: &Config) -> Table {
         "max silences/packet at PRR >= 99.3% (genie detection): truly-weakest vs random placement",
         &["snr_db", "rate", "rm_weak_per_packet", "rm_random_per_packet"],
     );
-    for &snr in &cfg.snr_grid {
-        for seed in 0..cfg.seeds_per_point {
-            let rng_seed = 50_000 + seed * 131;
-            let mut link = Link::new(paper_channel(), snr, rng_seed);
-            let probe = probe_channel(&mut link);
-            let rate = probe.selected_rate;
+    // Same structure as `run_evd`: independent (SNR, seed) cells on the
+    // parallel runner, rows in cell order.
+    let cells: Vec<(f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .flat_map(|&snr| (0..cfg.seeds_per_point).map(move |seed| (snr, seed)))
+        .collect();
+    let rows = run_trials(cells.len(), |t| {
+        let (snr, seed) = cells[t];
+        let rng_seed = 50_000 + seed * 131;
+        let mut link = Link::new(paper_channel(), snr, rng_seed);
+        let probe = probe_channel(&mut link);
+        let rate = probe.selected_rate;
 
-            let weak_base = TrialConfig {
-                placement: Placement::WeakNoFloor,
-                genie_detection: true,
-                ..TrialConfig::paper(rate, 0)
-            };
-            let weak = max_silence_rate(&mut link, &weak_base, cfg.packets, rng_seed + 1);
+        let weak_base = TrialConfig {
+            placement: Placement::WeakNoFloor,
+            genie_detection: true,
+            ..TrialConfig::paper(rate, 0)
+        };
+        let weak = max_silence_rate(&mut link, &weak_base, cfg.packets, rng_seed + 1);
 
-            let mut link2 = Link::new(paper_channel(), snr, rng_seed);
-            let random_base = TrialConfig {
-                placement: Placement::Random,
-                genie_detection: true,
-                ..TrialConfig::paper(rate, 0)
-            };
-            let random = max_silence_rate(&mut link2, &random_base, cfg.packets, rng_seed + 1);
+        let mut link2 = Link::new(paper_channel(), snr, rng_seed);
+        let random_base = TrialConfig {
+            placement: Placement::Random,
+            genie_detection: true,
+            ..TrialConfig::paper(rate, 0)
+        };
+        let random = max_silence_rate(&mut link2, &random_base, cfg.packets, rng_seed + 1);
 
-            table.push_row(vec![
-                fmt(probe.measured_snr_db, 1),
-                format!("{}Mbps", rate.mbps()),
-                weak.silences_per_packet.to_string(),
-                random.silences_per_packet.to_string(),
-            ]);
-        }
+        vec![
+            fmt(probe.measured_snr_db, 1),
+            format!("{}Mbps", rate.mbps()),
+            weak.silences_per_packet.to_string(),
+            random.silences_per_packet.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }
@@ -183,7 +201,10 @@ pub fn run_baseline_comparison(cfg: &Config) -> Table {
         ],
     );
     let packets = cfg.packets.max(20);
-    for &snr in &cfg.snr_grid {
+    // Each SNR point evolves its own link serially (the two arms share a
+    // fading trajectory), but the points themselves are independent trials.
+    let rows = run_trials(cfg.snr_grid.len(), |pi| {
+        let snr = cfg.snr_grid[pi];
         let mut cos_ctrl = 0u32;
         let mut cos_data = 0u32;
         let mut flash_ctrl = 0u32;
@@ -224,14 +245,17 @@ pub fn run_baseline_comparison(cfg: &Config) -> Table {
             }
             link.channel_mut().advance(1e-3);
         }
-        table.push_row(vec![
+        vec![
             fmt(snr, 1),
             fmt(cos_ctrl as f64 / packets as f64, 3),
             fmt(cos_data as f64 / packets as f64, 3),
             fmt(flash_ctrl as f64 / packets as f64, 3),
             fmt(flash_data as f64 / packets as f64, 3),
             fmt(energy_ratio_acc / packets as f64, 2),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

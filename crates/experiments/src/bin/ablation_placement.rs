@@ -4,6 +4,7 @@
 use cos_experiments::{ablation, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = ablation::Config::default();
     table::emit(&[ablation::run_placement(&cfg)]);
 }

@@ -4,6 +4,7 @@
 use cos_experiments::{fig02, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig02::Config::default();
     table::emit(&[fig02::run(&cfg)]);
 }

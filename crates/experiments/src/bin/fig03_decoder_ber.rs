@@ -4,6 +4,7 @@
 use cos_experiments::{fig03, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig03::Config::default();
     table::emit(&[fig03::run(&cfg)]);
 }

@@ -4,6 +4,7 @@
 use cos_experiments::{fig05, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig05::Config::default();
     table::emit(&[fig05::run(&cfg)]);
 }

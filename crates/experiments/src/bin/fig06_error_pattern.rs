@@ -4,6 +4,7 @@
 use cos_experiments::{fig06, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig06::Config::default();
     table::emit(&fig06::run(&cfg));
 }

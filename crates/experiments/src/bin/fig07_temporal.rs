@@ -4,6 +4,7 @@
 use cos_experiments::{fig07, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig07::Config::default();
     table::emit(&fig07::run(&cfg));
 }

@@ -4,6 +4,7 @@
 use cos_experiments::{fig09, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig09::Config::default();
     table::emit(&[fig09::run(&cfg)]);
 }

@@ -4,6 +4,7 @@
 use cos_experiments::{fig10, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     let cfg = fig10::Config::default();
     table::emit(&[fig10::run_threshold_sweep(&cfg)]);
 }

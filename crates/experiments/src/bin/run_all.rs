@@ -4,6 +4,7 @@
 use cos_experiments::{ablation, fig02, fig03, fig05, fig06, fig07, fig09, fig10, table};
 
 fn main() {
+    cos_experiments::harness::init_threads_from_args();
     println!("== Fig. 2: SNR gap ==");
     table::emit(&[fig02::run(&fig02::Config::default())]);
     println!("== Fig. 3: decoder-input BER ==");

@@ -3,7 +3,7 @@
 //! decoder could still tolerate relative to operating at the minimum
 //! required SNR of 12 dB).
 
-use crate::harness::{paper_channel, paper_payload, probe_channel};
+use crate::harness::{paper_channel, paper_payload, probe_channel, run_trials};
 use crate::table::{fmt, Table};
 use cos_channel::Link;
 use cos_fec::bits::hamming_distance;
@@ -68,22 +68,29 @@ fn link_ber(link: &mut Link, packets: usize) -> (f64, f64) {
 
 /// Runs the sweep; rows are 0.5 dB measured-SNR bins.
 pub fn run(cfg: &Config) -> Table {
-    let mut samples: Vec<(f64, f64)> = Vec::new(); // (measured, ber)
-    for (i, &snr) in cfg.snr_grid.iter().enumerate() {
-        for seed in 0..cfg.seeds_per_point {
-            let mut link = Link::new(paper_channel(), snr, seed * 6151 + i as u64 + 1);
-            let probe = probe_channel(&mut link);
-            // Keep only realisations whose measured SNR falls in the
-            // 24 Mbps operating band, like the paper's experiment.
-            if probe.measured_snr_db < 11.5 || probe.measured_snr_db > 18.0 {
-                continue;
-            }
-            let (ber, measured) = link_ber(&mut link, cfg.packets);
-            if ber.is_finite() {
-                samples.push((measured, ber));
-            }
+    // (measured, ber) per kept realisation; cells run on the parallel
+    // runner and are filtered in index order afterwards.
+    let cells: Vec<(usize, f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &snr)| (0..cfg.seeds_per_point).map(move |seed| (i, snr, seed)))
+        .collect();
+    let mut samples: Vec<(f64, f64)> = run_trials(cells.len(), |t| {
+        let (i, snr, seed) = cells[t];
+        let mut link = Link::new(paper_channel(), snr, seed * 6151 + i as u64 + 1);
+        let probe = probe_channel(&mut link);
+        // Keep only realisations whose measured SNR falls in the
+        // 24 Mbps operating band, like the paper's experiment.
+        if probe.measured_snr_db < 11.5 || probe.measured_snr_db > 18.0 {
+            return None;
         }
-    }
+        let (ber, measured) = link_ber(&mut link, cfg.packets);
+        ber.is_finite().then_some((measured, ber))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     samples.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     // Reference BER at the minimum required SNR (the lowest bin).

@@ -1,7 +1,7 @@
 //! Fig. 5 — per-subcarrier EVM (%) measured at three receiver positions,
 //! exhibiting frequency-selective fading that differs per link.
 
-use crate::harness::{paper_channel, paper_payload};
+use crate::harness::{paper_channel, paper_payload, run_trials};
 use crate::table::{fmt, Table};
 use cos_channel::Link;
 use cos_phy::evm::per_subcarrier_evm;
@@ -70,11 +70,10 @@ pub fn position_evm_on(link: &mut Link, packets: usize) -> [f64; NUM_DATA] {
 
 /// Runs the three-position measurement.
 pub fn run(cfg: &Config) -> Table {
-    let evms: Vec<[f64; NUM_DATA]> = cfg
-        .position_seeds
-        .iter()
-        .map(|&seed| position_evm(cfg.snr_db, seed, cfg.packets))
-        .collect();
+    // The three positions are independent links — one parallel trial each.
+    let evms: Vec<[f64; NUM_DATA]> = run_trials(cfg.position_seeds.len(), |i| {
+        position_evm(cfg.snr_db, cfg.position_seeds[i], cfg.packets)
+    });
     let mut table = Table::new(
         "fig05_evm_positions",
         "per-subcarrier EVM (%) at positions A/B/C",

@@ -56,6 +56,11 @@ pub struct ErrorStats {
 }
 
 /// Collects the raw error statistics.
+///
+/// This experiment is a single time-correlated trace: every packet sees
+/// the channel state (and the link's noise RNG stream) left by the one
+/// before, so unlike the sweep figures it cannot be split across the
+/// parallel runner without changing its output.
 pub fn collect(cfg: &Config) -> ErrorStats {
     let mut link = Link::new(paper_channel(), cfg.snr_db, cfg.seed);
     let payload = paper_payload();

@@ -2,7 +2,7 @@
 //! (a) per-subcarrier EVM snapshots under time gaps τ ∈ {0, 10, 20, 30,
 //! 40} ms, (b) the CDF of the normalised EVM change `∇EVM(τ)`.
 
-use crate::harness::{paper_channel, paper_payload};
+use crate::harness::{paper_channel, paper_payload, run_trials};
 use crate::table::{fmt, Table};
 use cos_channel::Link;
 use cos_dsp::stats::Ecdf;
@@ -115,16 +115,26 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         "CDF of the normalised EVM change (Eq. 2) per time gap tau",
         &["grad_evm", "cdf_tau10ms", "cdf_tau20ms", "cdf_tau30ms", "cdf_tau40ms"],
     );
-    let mut per_tau_samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.taus_ms.len()];
-    for trial in 0..cfg.trials {
+    // Every trial is an independent seeded time origin — run them on the
+    // parallel runner, then regroup the per-τ samples in trial order.
+    let per_trial: Vec<Vec<f64>> = run_trials(cfg.trials, |trial| {
         let mut link = Link::new(paper_channel(), cfg.snr_db, cfg.seed + 1 + trial as u64);
         let d0 = snapshot(&mut link, cfg.packets_per_snapshot);
         let mut elapsed = 0.0;
-        for (ti, &tau) in cfg.taus_ms.iter().enumerate() {
-            link.channel_mut().advance((tau - elapsed).max(0.0) * 1e-3);
-            elapsed = tau;
-            let dt = snapshot(&mut link, cfg.packets_per_snapshot);
-            per_tau_samples[ti].push(evm_change(&d0, &dt));
+        cfg.taus_ms
+            .iter()
+            .map(|&tau| {
+                link.channel_mut().advance((tau - elapsed).max(0.0) * 1e-3);
+                elapsed = tau;
+                let dt = snapshot(&mut link, cfg.packets_per_snapshot);
+                evm_change(&d0, &dt)
+            })
+            .collect()
+    });
+    let mut per_tau_samples: Vec<Vec<f64>> = vec![Vec::new(); cfg.taus_ms.len()];
+    for trial in &per_trial {
+        for (ti, &g) in trial.iter().enumerate() {
+            per_tau_samples[ti].push(g);
         }
     }
     let cdfs: Vec<Ecdf> = per_tau_samples.iter().map(|s| Ecdf::new(s.clone())).collect();

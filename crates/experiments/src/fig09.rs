@@ -3,7 +3,7 @@
 //! at or above 99.3 %, as a function of measured SNR across the six data
 //! rates of 12–54 Mbps.
 
-use crate::harness::{max_silence_rate, paper_channel, probe_channel, TrialConfig};
+use crate::harness::{max_silence_rate, paper_channel, probe_channel, run_trials, TrialConfig};
 use crate::table::{fmt, Table};
 use cos_channel::Link;
 use cos_phy::rates::DataRate;
@@ -53,28 +53,38 @@ pub struct Point {
 
 /// Runs the sweep, one capacity search per (SNR, seed).
 pub fn collect(cfg: &Config) -> Vec<Point> {
-    let mut points = Vec::new();
-    for (i, &snr) in cfg.snr_grid.iter().enumerate() {
-        for seed in 0..cfg.seeds_per_point {
-            let rng_seed = seed * 104_729 + i as u64;
-            let mut link = Link::new(paper_channel(), snr, rng_seed);
-            let probe = probe_channel(&mut link);
-            let rate = probe.selected_rate;
-            if !DataRate::FIG9_RATES.contains(&rate) {
-                // Below the 12 Mbps band: outside the paper's sweep.
-                continue;
-            }
-            let base = TrialConfig::paper(rate, 0);
-            let point = max_silence_rate(&mut link, &base, cfg.packets, rng_seed + 1);
-            points.push(Point {
-                measured_snr_db: point.measured_snr_db,
-                rate,
-                rm: point.rm_per_second,
-                per_packet: point.silences_per_packet,
-                control_ok: point.control_ok_rate,
-            });
+    // One independent capacity search per (SNR, seed) cell; these searches
+    // are the most expensive sweeps in the repository, so they are the
+    // main beneficiary of the parallel runner.
+    let cells: Vec<(usize, f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &snr)| (0..cfg.seeds_per_point).map(move |seed| (i, snr, seed)))
+        .collect();
+    let mut points: Vec<Point> = run_trials(cells.len(), |t| {
+        let (i, snr, seed) = cells[t];
+        let rng_seed = seed * 104_729 + i as u64;
+        let mut link = Link::new(paper_channel(), snr, rng_seed);
+        let probe = probe_channel(&mut link);
+        let rate = probe.selected_rate;
+        if !DataRate::FIG9_RATES.contains(&rate) {
+            // Below the 12 Mbps band: outside the paper's sweep.
+            return None;
         }
-    }
+        let base = TrialConfig::paper(rate, 0);
+        let point = max_silence_rate(&mut link, &base, cfg.packets, rng_seed + 1);
+        Some(Point {
+            measured_snr_db: point.measured_snr_db,
+            rate,
+            rm: point.rm_per_second,
+            per_packet: point.silences_per_packet,
+            control_ok: point.control_ok_rate,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     points.sort_by(|a, b| a.measured_snr_db.total_cmp(&b.measured_snr_db));
     points
 }

@@ -7,7 +7,7 @@
 //! (d) the impact of strong pulse interference on the false-negative
 //! probability.
 
-use crate::harness::{paper_channel, paper_payload, random_bits};
+use crate::harness::{paper_channel, paper_payload, random_bits, run_trials};
 use crate::table::{fmt, Table};
 use cos_channel::link::NOMINAL_TX_POWER;
 use cos_channel::{Link, PulseInterferer};
@@ -142,17 +142,27 @@ pub fn run_threshold_sweep(cfg: &Config) -> Table {
         "false probabilities vs global detection threshold (dBm) at 9.2 dB",
         &["threshold_dbm", "false_positive", "false_negative"],
     );
-    for &thr_dbm in &cfg.threshold_grid_dbm {
+    // One independent batch per (threshold, seed) cell, merged per
+    // threshold in index order.
+    let cells: Vec<(f64, u64)> = cfg
+        .threshold_grid_dbm
+        .iter()
+        .flat_map(|&thr| (0..cfg.seeds_per_point).map(move |seed| (thr, seed)))
+        .collect();
+    let batches = run_trials(cells.len(), |t| {
+        let (thr_dbm, seed) = cells[t];
+        let mut link = Link::new(paper_channel(), cfg.snapshot_snr_db, 31 + seed);
+        let thr = link.calibration().to_linear(thr_dbm);
+        detection_batch(&mut link, cfg.packets / cfg.seeds_per_point as usize, Mode::Global(thr), seed)
+    });
+    for (ti, &thr_dbm) in cfg.threshold_grid_dbm.iter().enumerate() {
         let mut total = DetectionAccuracy::default();
-        for seed in 0..cfg.seeds_per_point {
-            let mut link = Link::new(paper_channel(), cfg.snapshot_snr_db, 31 + seed);
-            let thr = link.calibration().to_linear(thr_dbm);
-            total.merge(&detection_batch(
-                &mut link,
-                cfg.packets / cfg.seeds_per_point as usize,
-                Mode::Global(thr),
-                seed,
-            ));
+        for acc in batches
+            .iter()
+            .skip(ti * cfg.seeds_per_point as usize)
+            .take(cfg.seeds_per_point as usize)
+        {
+            total.merge(acc);
         }
         table.push_row(vec![
             fmt(thr_dbm, 1),
@@ -170,16 +180,26 @@ pub fn run_snr_sweep(cfg: &Config) -> Table {
         "false probabilities vs measured SNR with adaptive threshold",
         &["snr_db", "false_positive", "false_negative"],
     );
-    for &snr in &cfg.snr_grid {
+    // One independent batch per (SNR, seed) cell, merged per SNR point in
+    // index order.
+    let cells: Vec<(f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .flat_map(|&snr| (0..cfg.seeds_per_point).map(move |seed| (snr, seed)))
+        .collect();
+    let batches = run_trials(cells.len(), |t| {
+        let (snr, seed) = cells[t];
+        let mut link = Link::new(paper_channel(), snr, 7000 + seed * 13);
+        detection_batch(&mut link, cfg.packets / cfg.seeds_per_point as usize, Mode::Adaptive, 100 + seed)
+    });
+    for (si, &snr) in cfg.snr_grid.iter().enumerate() {
         let mut total = DetectionAccuracy::default();
-        for seed in 0..cfg.seeds_per_point {
-            let mut link = Link::new(paper_channel(), snr, 7000 + seed * 13);
-            total.merge(&detection_batch(
-                &mut link,
-                cfg.packets / cfg.seeds_per_point as usize,
-                Mode::Adaptive,
-                100 + seed,
-            ));
+        for acc in batches
+            .iter()
+            .skip(si * cfg.seeds_per_point as usize)
+            .take(cfg.seeds_per_point as usize)
+        {
+            total.merge(acc);
         }
         table.push_row(vec![
             fmt(snr, 1),
@@ -198,29 +218,35 @@ pub fn run_interference(cfg: &Config) -> Table {
         "false-negative probability vs SNR, with and without strong pulse interference",
         &["snr_db", "fn_no_interference", "fn_strong_interference"],
     );
-    for &snr in &cfg.snr_grid {
+    // Each (SNR, seed) cell measures its quiet and interfered batch as one
+    // independent trial; results merge per SNR point in index order.
+    let cells: Vec<(f64, u64)> = cfg
+        .snr_grid
+        .iter()
+        .flat_map(|&snr| (0..cfg.seeds_per_point).map(move |seed| (snr, seed)))
+        .collect();
+    let batches = run_trials(cells.len(), |t| {
+        let (snr, seed) = cells[t];
+        let packets = cfg.packets / cfg.seeds_per_point as usize;
+        let mut q = Link::new(paper_channel(), snr, 9000 + seed * 17);
+        let quiet = detection_batch(&mut q, packets, Mode::Adaptive, 200 + seed);
+        // Strong interference: 15 dB above the signal, striking ~30 %
+        // of OFDM-symbol windows.
+        let interferer = PulseInterferer::new(NOMINAL_TX_POWER * 31.6, 0.3, SYMBOL_LEN, 555 + seed);
+        let mut l = Link::new(paper_channel(), snr, 9000 + seed * 17).with_interferer(interferer);
+        let loud = detection_batch(&mut l, packets, Mode::Adaptive, 300 + seed);
+        (quiet, loud)
+    });
+    for (si, &snr) in cfg.snr_grid.iter().enumerate() {
         let mut quiet = DetectionAccuracy::default();
         let mut loud = DetectionAccuracy::default();
-        for seed in 0..cfg.seeds_per_point {
-            let mut q = Link::new(paper_channel(), snr, 9000 + seed * 17);
-            quiet.merge(&detection_batch(
-                &mut q,
-                cfg.packets / cfg.seeds_per_point as usize,
-                Mode::Adaptive,
-                200 + seed,
-            ));
-            // Strong interference: 15 dB above the signal, striking ~30 %
-            // of OFDM-symbol windows.
-            let interferer =
-                PulseInterferer::new(NOMINAL_TX_POWER * 31.6, 0.3, SYMBOL_LEN, 555 + seed);
-            let mut l =
-                Link::new(paper_channel(), snr, 9000 + seed * 17).with_interferer(interferer);
-            loud.merge(&detection_batch(
-                &mut l,
-                cfg.packets / cfg.seeds_per_point as usize,
-                Mode::Adaptive,
-                300 + seed,
-            ));
+        for (q, l) in batches
+            .iter()
+            .skip(si * cfg.seeds_per_point as usize)
+            .take(cfg.seeds_per_point as usize)
+        {
+            quiet.merge(q);
+            loud.merge(l);
         }
         table.push_row(vec![
             fmt(snr, 1),

@@ -1,6 +1,17 @@
 //! Shared machinery for the experiment binaries: channel probing,
-//! packet trials with silence insertion, PRR measurement and the
-//! binary-search for the maximum silence rate (the paper's `Rm`).
+//! packet trials with silence insertion, PRR measurement, the
+//! binary-search for the maximum silence rate (the paper's `Rm`), and the
+//! parallel Monte-Carlo trial runner ([`run_trials`]) the figure sweeps
+//! are built on.
+//!
+//! # Determinism
+//!
+//! [`run_trials`] distributes *independent* trial closures over a scoped
+//! thread pool. Every trial derives its randomness from its own index
+//! (each figure builds a per-cell seed, and each cell constructs its own
+//! [`Link`] and RNG from it), and results are returned in index order, so
+//! a run with `COS_THREADS=1` and a run with `COS_THREADS=32` produce
+//! byte-identical `results/*.csv` files — see `docs/DETERMINISM.md`.
 
 use cos_channel::{ChannelConfig, Link};
 use cos_core::energy_detector::{DetectionAccuracy, EnergyDetector};
@@ -16,9 +27,107 @@ use cos_phy::subcarriers::NUM_DATA;
 use cos_phy::tx::Transmitter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The paper's packet-reception-rate target for measuring `Rm`.
 pub const TARGET_PRR: f64 = 0.993;
+
+/// Worker-count override set by `--threads` / [`set_threads`]; 0 = unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker-thread count for [`run_trials`] (0 clears the
+/// override). The experiment binaries call this when given `--threads N`.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count [`run_trials`] will use, resolved in priority
+/// order: [`set_threads`] (the binaries' `--threads N` flag), then the
+/// `COS_THREADS` environment variable, then the machine's available
+/// parallelism.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("COS_THREADS").ok().and_then(|v| v.parse().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parses a `--threads N` (or `--threads=N`) command-line flag and applies
+/// it via [`set_threads`]. Every experiment binary calls this first thing
+/// in `main`.
+pub fn init_threads_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            set_threads(v.parse().expect("--threads=N takes a positive integer"));
+        } else if arg == "--threads" {
+            let v = args.get(i + 1).expect("--threads requires a value");
+            set_threads(v.parse().expect("--threads N takes a positive integer"));
+        }
+    }
+}
+
+/// Runs `n` independent trials, `job(0) .. job(n-1)`, across [`threads`]
+/// scoped worker threads and returns the results **in index order**.
+///
+/// Work is claimed from a shared atomic counter, so threads load-balance
+/// over trials of uneven cost; because every job derives its state purely
+/// from its index, the output is identical at any thread count (the
+/// repository's determinism contract, `docs/DETERMINISM.md`).
+///
+/// # Panics
+///
+/// Propagates a panic from any trial.
+///
+/// # Examples
+///
+/// ```
+/// use cos_experiments::harness::run_trials;
+///
+/// let squares = run_trials(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_trials<T, F>(n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, job(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
 
 /// Generates `n` random control bits.
 pub fn random_bits(n: usize, rng: &mut StdRng) -> Vec<u8> {
@@ -398,6 +507,42 @@ mod tests {
         let point = max_silence_rate(&mut link, &base, 10, 13);
         assert!(point.silences_per_packet > 0, "Rm must be positive at 16 dB");
         assert!(point.rm_per_second > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_per_trial_outcomes() {
+        // The determinism contract: the same trials produce identical
+        // outcomes at any thread count (docs/DETERMINISM.md).
+        let job = |i: usize| {
+            let mut link = Link::new(paper_channel(), 14.0 + (i % 5) as f64, 1000 + i as u64);
+            let probe = probe_channel(&mut link);
+            let cfg = TrialConfig::paper(DataRate::Mbps12, 8);
+            let codec = IntervalCodec::default();
+            let n_sym = DataRate::Mbps12.data_symbol_count(1024);
+            let selected = choose_subcarriers(&probe, &cfg, n_sym, &codec, i as u64);
+            let mut rng = StdRng::seed_from_u64(77 ^ i as u64);
+            let out = run_packet(&mut link, &cfg, &selected, &mut rng);
+            (out.data_ok, out.control_ok, selected)
+        };
+        set_threads(1);
+        let serial = run_trials(10, job);
+        set_threads(4);
+        let parallel = run_trials(10, job);
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_trials_preserves_index_order_under_uneven_load() {
+        set_threads(8);
+        let out = run_trials(100, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i
+        });
+        set_threads(0);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

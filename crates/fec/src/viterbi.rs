@@ -23,6 +23,7 @@
 //! the classical error-only decoder used by the `ablation_evd` experiment.
 
 use crate::conv::{branch_output, next_state, STATES};
+use std::sync::OnceLock;
 
 /// A soft-decision Viterbi decoder for the 133/171 rate-1/2 code.
 ///
@@ -46,18 +47,34 @@ pub struct ViterbiDecoder {
     _private: (),
 }
 
-/// Branch-metric lookup: for each state and input bit, the pair of expected
-/// coded bits as ±1 values (`+1` for coded 0, `-1` for coded 1).
-fn branch_signs() -> [[(f64, f64); 2]; STATES] {
-    let mut table = [[(0.0, 0.0); 2]; STATES];
-    for (state, row) in table.iter_mut().enumerate() {
-        for (input, slot) in row.iter_mut().enumerate() {
-            let (a, b) = branch_output(state as u8, input as u8);
-            let sign = |bit: u8| if bit == 0 { 1.0 } else { -1.0 };
-            *slot = (sign(a), sign(b));
+/// Butterfly ACS lookup, built once per process: per source state, the
+/// ±1 signs (`+1` ⇔ coded 0) of the two coded bits emitted for input 0,
+/// as two parallel arrays so the ACS loop is pure vectorisable arithmetic.
+///
+/// Two structural facts of the 133/171 trellis make this one table enough
+/// for the whole add-compare-select step:
+///
+/// * sources `2j` and `2j + 1` both fan out exactly to destinations `j`
+///   (input 0) and `j + 32` (input 1), since `dest = (input << 5) | (src >> 1)`;
+/// * both generators tap the input bit, so the input-1 coded pair is the
+///   complement of the input-0 pair and its branch metric the negation.
+fn butterfly_signs() -> &'static ([f64; STATES], [f64; STATES]) {
+    static TABLE: OnceLock<([f64; STATES], [f64; STATES])> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut sa = [0.0; STATES];
+        let mut sb = [0.0; STATES];
+        for src in 0..STATES {
+            let (a0, b0) = branch_output(src as u8, 0);
+            sa[src] = if a0 == 0 { 1.0 } else { -1.0 };
+            sb[src] = if b0 == 0 { 1.0 } else { -1.0 };
+            // The two invariants the ACS kernel relies on.
+            let (a1, b1) = branch_output(src as u8, 1);
+            debug_assert_eq!((a1, b1), (a0 ^ 1, b0 ^ 1));
+            debug_assert_eq!(next_state(src as u8, 0) as usize, src >> 1);
+            debug_assert_eq!(next_state(src as u8, 1) as usize, (src >> 1) | 32);
         }
-    }
-    table
+        (sa, sb)
+    })
 }
 
 impl ViterbiDecoder {
@@ -80,53 +97,44 @@ impl ViterbiDecoder {
         assert!(!llrs.is_empty(), "cannot decode an empty frame");
         assert!(llrs.len().is_multiple_of(2), "soft input length {} is not a whole number of (A,B) pairs", llrs.len());
         let steps = llrs.len() / 2;
-        let signs = branch_signs();
+        let (sa, sb) = butterfly_signs();
 
         const NEG: f64 = f64::NEG_INFINITY;
         let mut metric = [NEG; STATES];
         metric[0] = 0.0; // encoder starts from the zero state
         let mut next = [NEG; STATES];
-        // survivors[t] packs, per destination state, the input bit that won.
-        let mut survivors: Vec<u64> = Vec::with_capacity(steps);
         // Track the predecessor implicitly: dest = (input<<5)|(src>>1), so
         // src = ((dest & 0x1F) << 1) | prev_lsb; we store the winning
-        // prev_lsb per destination state in a second bitset.
+        // prev_lsb per destination state in a per-step bitset. The winning
+        // *input* needs no storage at all — it is `dest >> 5`.
         let mut prev_lsbs: Vec<u64> = Vec::with_capacity(steps);
 
         for t in 0..steps {
             let la = llrs[2 * t];
             let lb = llrs[2 * t + 1];
-            next.fill(NEG);
-            let mut surv_bits = 0u64;
             let mut lsb_bits = 0u64;
-            #[allow(clippy::needless_range_loop)] // src/input double loop reads several tables
-            for src in 0..STATES {
-                let m = metric[src];
-                if m == NEG {
-                    continue;
-                }
-                for input in 0..2 {
-                    let (sa, sb) = signs[src][input];
-                    let cand = m + sa * la + sb * lb;
-                    let dest = next_state(src as u8, input as u8) as usize;
-                    if cand > next[dest] {
-                        next[dest] = cand;
-                        if input == 1 {
-                            surv_bits |= 1 << dest;
-                        } else {
-                            surv_bits &= !(1 << dest);
-                        }
-                        if src & 1 == 1 {
-                            lsb_bits |= 1 << dest;
-                        } else {
-                            lsb_bits &= !(1 << dest);
-                        }
-                    }
-                }
+            for j in 0..STATES / 2 {
+                let m0 = metric[2 * j];
+                let m1 = metric[2 * j + 1];
+                // Branch metric of the input-0 edge out of each source.
+                let t0 = sa[2 * j] * la + sb[2 * j] * lb;
+                let t1 = sa[2 * j + 1] * la + sb[2 * j + 1] * lb;
+                // Destination j takes input 0; destination j+32 takes
+                // input 1, whose branch metric is the negation. Strict `>`
+                // keeps the lower-numbered predecessor on ties, matching
+                // the src-ascending strict-improvement scan this butterfly
+                // kernel replaced.
+                let (a0, a1) = (m0 + t0, m1 + t1);
+                let odd_wins_lo = a1 > a0;
+                next[j] = if odd_wins_lo { a1 } else { a0 };
+                lsb_bits |= (odd_wins_lo as u64) << j;
+                let (b0, b1) = (m0 - t0, m1 - t1);
+                let odd_wins_hi = b1 > b0;
+                next[j + 32] = if odd_wins_hi { b1 } else { b0 };
+                lsb_bits |= (odd_wins_hi as u64) << (j + 32);
             }
-            survivors.push(surv_bits);
             prev_lsbs.push(lsb_bits);
-            metric = next;
+            std::mem::swap(&mut metric, &mut next);
         }
 
         // Choose the traceback start state.
@@ -141,12 +149,12 @@ impl ViterbiDecoder {
                 .expect("STATES > 0")
         };
 
-        // Trace back.
+        // Trace back. The input bit at step t is the top bit of the state
+        // the trellis landed in.
         let mut decoded = vec![0u8; steps];
         for t in (0..steps).rev() {
-            let input = ((survivors[t] >> state) & 1) as u8;
+            decoded[t] = (state >> 5) as u8;
             let prev_lsb = ((prev_lsbs[t] >> state) & 1) as usize;
-            decoded[t] = input;
             state = ((state & 0x1F) << 1) | prev_lsb;
         }
         decoded

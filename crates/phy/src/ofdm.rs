@@ -7,7 +7,7 @@
 //! subcarrier, which is exactly how [`crate::tx::TxFrame::silence`] works.
 
 use crate::subcarriers::{bin_of, data_bins, FFT_SIZE, CP_LEN, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN};
-use cos_dsp::fft::Fft;
+use cos_dsp::fft::{plan, Fft};
 use cos_dsp::Complex;
 
 /// A frequency-domain OFDM symbol: 64 FFT bins.
@@ -67,7 +67,7 @@ impl FreqSymbol {
 /// A reusable OFDM modulator/demodulator (wraps a 64-point FFT plan).
 #[derive(Debug, Clone)]
 pub struct OfdmEngine {
-    fft: Fft,
+    fft: &'static Fft,
 }
 
 impl Default for OfdmEngine {
@@ -79,7 +79,7 @@ impl Default for OfdmEngine {
 impl OfdmEngine {
     /// Creates an engine with a 64-point plan.
     pub fn new() -> Self {
-        OfdmEngine { fft: Fft::new(FFT_SIZE) }
+        OfdmEngine { fft: plan(FFT_SIZE) }
     }
 
     /// Modulates a frequency-domain symbol to 80 time samples

@@ -10,7 +10,7 @@
 
 use crate::ofdm::FreqSymbol;
 use crate::subcarriers::{bin_of, FFT_SIZE};
-use cos_dsp::fft::Fft;
+use cos_dsp::fft::plan;
 use cos_dsp::Complex;
 
 /// Samples in the short training field (10 × 16).
@@ -78,7 +78,7 @@ pub fn stf_freq_symbol() -> FreqSymbol {
 
 /// Generates the full 320-sample preamble waveform.
 pub fn generate() -> Vec<Complex> {
-    let fft = Fft::new(FFT_SIZE);
+    let fft = plan(FFT_SIZE);
 
     // Short training field: IFFT of the STF symbol is periodic with period
     // 16; transmit 160 samples of it.

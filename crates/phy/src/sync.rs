@@ -19,7 +19,7 @@
 
 use crate::preamble::{self, PREAMBLE_LEN, STF_LEN};
 use crate::subcarriers::FFT_SIZE;
-use cos_dsp::fft::Fft;
+use cos_dsp::fft::plan;
 use cos_dsp::Complex;
 
 /// The 20 MHz sample period in seconds.
@@ -204,7 +204,7 @@ fn normalized_autocorrelation(samples: &[Complex], start: usize, len: usize, del
 /// The time-domain LTF body (64 samples), cached per call site.
 fn ltf_reference() -> [Complex; FFT_SIZE] {
     let mut body = preamble::ltf_freq_symbol().0;
-    Fft::new(FFT_SIZE).inverse(&mut body);
+    plan(FFT_SIZE).inverse(&mut body);
     body
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The local pre-merge gate. A clean run of this script is the bar every
+# change must meet (see README.md "Tests and benches").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q (root integration tests — tier-1)"
+cargo test -q
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo test --doc --workspace"
+cargo test -q --doc --workspace
+
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_baseline-6c0c02969f094971.d: crates/experiments/src/bin/ablation_baseline.rs
+
+/root/repo/target/debug/deps/ablation_baseline-6c0c02969f094971: crates/experiments/src/bin/ablation_baseline.rs
+
+crates/experiments/src/bin/ablation_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_baseline-c3c13c56fa503f96.d: crates/experiments/src/bin/ablation_baseline.rs
+
+/root/repo/target/debug/deps/ablation_baseline-c3c13c56fa503f96: crates/experiments/src/bin/ablation_baseline.rs
+
+crates/experiments/src/bin/ablation_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_evd-1115cd524722ecb0.d: crates/experiments/src/bin/ablation_evd.rs
+
+/root/repo/target/debug/deps/ablation_evd-1115cd524722ecb0: crates/experiments/src/bin/ablation_evd.rs
+
+crates/experiments/src/bin/ablation_evd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_evd-d45aa6883a96b6b6.d: crates/experiments/src/bin/ablation_evd.rs
+
+/root/repo/target/debug/deps/ablation_evd-d45aa6883a96b6b6: crates/experiments/src/bin/ablation_evd.rs
+
+crates/experiments/src/bin/ablation_evd.rs:

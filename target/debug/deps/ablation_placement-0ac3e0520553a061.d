@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_placement-0ac3e0520553a061.d: crates/experiments/src/bin/ablation_placement.rs
+
+/root/repo/target/debug/deps/ablation_placement-0ac3e0520553a061: crates/experiments/src/bin/ablation_placement.rs
+
+crates/experiments/src/bin/ablation_placement.rs:

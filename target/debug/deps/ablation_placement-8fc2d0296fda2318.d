@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_placement-8fc2d0296fda2318.d: crates/experiments/src/bin/ablation_placement.rs
+
+/root/repo/target/debug/deps/ablation_placement-8fc2d0296fda2318: crates/experiments/src/bin/ablation_placement.rs
+
+crates/experiments/src/bin/ablation_placement.rs:

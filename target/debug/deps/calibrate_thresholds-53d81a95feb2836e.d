@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate_thresholds-53d81a95feb2836e.d: crates/experiments/src/bin/calibrate_thresholds.rs
+
+/root/repo/target/debug/deps/calibrate_thresholds-53d81a95feb2836e: crates/experiments/src/bin/calibrate_thresholds.rs
+
+crates/experiments/src/bin/calibrate_thresholds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate_thresholds-7c0200fcb84e274d.d: crates/experiments/src/bin/calibrate_thresholds.rs
+
+/root/repo/target/debug/deps/calibrate_thresholds-7c0200fcb84e274d: crates/experiments/src/bin/calibrate_thresholds.rs
+
+crates/experiments/src/bin/calibrate_thresholds.rs:

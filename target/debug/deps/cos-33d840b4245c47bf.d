@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cos-33d840b4245c47bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/cos-33d840b4245c47bf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cos-f4e7999ead7dd16f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcos-f4e7999ead7dd16f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcos-f4e7999ead7dd16f.rmeta: src/lib.rs
+
+src/lib.rs:

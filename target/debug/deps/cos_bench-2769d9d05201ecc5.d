@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cos_bench-2769d9d05201ecc5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcos_bench-2769d9d05201ecc5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcos_bench-2769d9d05201ecc5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

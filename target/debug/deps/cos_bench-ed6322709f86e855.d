@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cos_bench-ed6322709f86e855.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cos_bench-ed6322709f86e855: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cos_channel-07b0ff7e46a651c9.d: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+/root/repo/target/debug/deps/libcos_channel-07b0ff7e46a651c9.rlib: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+/root/repo/target/debug/deps/libcos_channel-07b0ff7e46a651c9.rmeta: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/awgn.rs:
+crates/channel/src/calibration.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/multipath.rs:
+crates/channel/src/sounder.rs:

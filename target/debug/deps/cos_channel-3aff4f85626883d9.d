@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cos_channel-3aff4f85626883d9.d: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+/root/repo/target/debug/deps/libcos_channel-3aff4f85626883d9.rmeta: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/awgn.rs:
+crates/channel/src/calibration.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/multipath.rs:
+crates/channel/src/sounder.rs:

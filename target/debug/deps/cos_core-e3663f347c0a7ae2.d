@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cos_core-e3663f347c0a7ae2.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+/root/repo/target/debug/deps/libcos_core-e3663f347c0a7ae2.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+/root/repo/target/debug/deps/libcos_core-e3663f347c0a7ae2.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/control_rate.rs:
+crates/core/src/duplex.rs:
+crates/core/src/energy_detector.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interval.rs:
+crates/core/src/messages.rs:
+crates/core/src/power_controller.rs:
+crates/core/src/session.rs:
+crates/core/src/subcarrier_select.rs:
+crates/core/src/validation.rs:

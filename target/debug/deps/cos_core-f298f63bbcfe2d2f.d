@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cos_core-f298f63bbcfe2d2f.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+/root/repo/target/debug/deps/libcos_core-f298f63bbcfe2d2f.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/control_rate.rs:
+crates/core/src/duplex.rs:
+crates/core/src/energy_detector.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interval.rs:
+crates/core/src/messages.rs:
+crates/core/src/power_controller.rs:
+crates/core/src/session.rs:
+crates/core/src/subcarrier_select.rs:
+crates/core/src/validation.rs:

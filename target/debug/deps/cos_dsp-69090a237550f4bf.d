@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cos_dsp-69090a237550f4bf.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+/root/repo/target/debug/deps/cos_dsp-69090a237550f4bf: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/db.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/rng.rs:
+crates/dsp/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cos_dsp-6e9149c1071eafc7.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+/root/repo/target/debug/deps/libcos_dsp-6e9149c1071eafc7.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+/root/repo/target/debug/deps/libcos_dsp-6e9149c1071eafc7.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/db.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/rng.rs:
+crates/dsp/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cos_experiments-2b276af67f69c3ee.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/cos_experiments-2b276af67f69c3ee: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/table.rs:

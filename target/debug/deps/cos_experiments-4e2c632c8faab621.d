@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cos_experiments-4e2c632c8faab621.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libcos_experiments-4e2c632c8faab621.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libcos_experiments-4e2c632c8faab621.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cos_fec-4089cd43e8f8a026.d: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+/root/repo/target/debug/deps/libcos_fec-4089cd43e8f8a026.rlib: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+/root/repo/target/debug/deps/libcos_fec-4089cd43e8f8a026.rmeta: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+crates/fec/src/lib.rs:
+crates/fec/src/bits.rs:
+crates/fec/src/conv.rs:
+crates/fec/src/crc.rs:
+crates/fec/src/interleaver.rs:
+crates/fec/src/puncture.rs:
+crates/fec/src/scrambler.rs:
+crates/fec/src/viterbi.rs:

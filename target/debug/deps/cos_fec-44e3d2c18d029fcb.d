@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cos_fec-44e3d2c18d029fcb.d: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+/root/repo/target/debug/deps/cos_fec-44e3d2c18d029fcb: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+crates/fec/src/lib.rs:
+crates/fec/src/bits.rs:
+crates/fec/src/conv.rs:
+crates/fec/src/crc.rs:
+crates/fec/src/interleaver.rs:
+crates/fec/src/puncture.rs:
+crates/fec/src/scrambler.rs:
+crates/fec/src/viterbi.rs:

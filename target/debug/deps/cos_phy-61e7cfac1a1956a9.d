@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cos_phy-61e7cfac1a1956a9.d: crates/phy/src/lib.rs crates/phy/src/aggregation.rs crates/phy/src/constellation.rs crates/phy/src/error.rs crates/phy/src/evm.rs crates/phy/src/frame.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rates.rs crates/phy/src/rx.rs crates/phy/src/signal.rs crates/phy/src/subcarriers.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+/root/repo/target/debug/deps/libcos_phy-61e7cfac1a1956a9.rlib: crates/phy/src/lib.rs crates/phy/src/aggregation.rs crates/phy/src/constellation.rs crates/phy/src/error.rs crates/phy/src/evm.rs crates/phy/src/frame.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rates.rs crates/phy/src/rx.rs crates/phy/src/signal.rs crates/phy/src/subcarriers.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+/root/repo/target/debug/deps/libcos_phy-61e7cfac1a1956a9.rmeta: crates/phy/src/lib.rs crates/phy/src/aggregation.rs crates/phy/src/constellation.rs crates/phy/src/error.rs crates/phy/src/evm.rs crates/phy/src/frame.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rates.rs crates/phy/src/rx.rs crates/phy/src/signal.rs crates/phy/src/subcarriers.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/aggregation.rs:
+crates/phy/src/constellation.rs:
+crates/phy/src/error.rs:
+crates/phy/src/evm.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/ofdm.rs:
+crates/phy/src/preamble.rs:
+crates/phy/src/rates.rs:
+crates/phy/src/rx.rs:
+crates/phy/src/signal.rs:
+crates/phy/src/subcarriers.rs:
+crates/phy/src/sync.rs:
+crates/phy/src/tx.rs:

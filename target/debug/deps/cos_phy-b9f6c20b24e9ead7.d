@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cos_phy-b9f6c20b24e9ead7.d: crates/phy/src/lib.rs crates/phy/src/aggregation.rs crates/phy/src/constellation.rs crates/phy/src/error.rs crates/phy/src/evm.rs crates/phy/src/frame.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rates.rs crates/phy/src/rx.rs crates/phy/src/signal.rs crates/phy/src/subcarriers.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+/root/repo/target/debug/deps/libcos_phy-b9f6c20b24e9ead7.rmeta: crates/phy/src/lib.rs crates/phy/src/aggregation.rs crates/phy/src/constellation.rs crates/phy/src/error.rs crates/phy/src/evm.rs crates/phy/src/frame.rs crates/phy/src/ofdm.rs crates/phy/src/preamble.rs crates/phy/src/rates.rs crates/phy/src/rx.rs crates/phy/src/signal.rs crates/phy/src/subcarriers.rs crates/phy/src/sync.rs crates/phy/src/tx.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/aggregation.rs:
+crates/phy/src/constellation.rs:
+crates/phy/src/error.rs:
+crates/phy/src/evm.rs:
+crates/phy/src/frame.rs:
+crates/phy/src/ofdm.rs:
+crates/phy/src/preamble.rs:
+crates/phy/src/rates.rs:
+crates/phy/src/rx.rs:
+crates/phy/src/signal.rs:
+crates/phy/src/subcarriers.rs:
+crates/phy/src/sync.rs:
+crates/phy/src/tx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/duplex_protocol-8af92bef8f809ac1.d: tests/duplex_protocol.rs
+
+/root/repo/target/debug/deps/duplex_protocol-8af92bef8f809ac1: tests/duplex_protocol.rs
+
+tests/duplex_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ef0aa9b152391049.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ef0aa9b152391049: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_snr_gap-77fd24304f4133d2.d: crates/experiments/src/bin/fig02_snr_gap.rs
+
+/root/repo/target/debug/deps/fig02_snr_gap-77fd24304f4133d2: crates/experiments/src/bin/fig02_snr_gap.rs
+
+crates/experiments/src/bin/fig02_snr_gap.rs:

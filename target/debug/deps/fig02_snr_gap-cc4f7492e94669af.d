@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_snr_gap-cc4f7492e94669af.d: crates/experiments/src/bin/fig02_snr_gap.rs
+
+/root/repo/target/debug/deps/fig02_snr_gap-cc4f7492e94669af: crates/experiments/src/bin/fig02_snr_gap.rs
+
+crates/experiments/src/bin/fig02_snr_gap.rs:

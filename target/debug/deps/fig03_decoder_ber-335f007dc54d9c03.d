@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_decoder_ber-335f007dc54d9c03.d: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+/root/repo/target/debug/deps/fig03_decoder_ber-335f007dc54d9c03: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+crates/experiments/src/bin/fig03_decoder_ber.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_decoder_ber-c2571205c5bdc2c6.d: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+/root/repo/target/debug/deps/fig03_decoder_ber-c2571205c5bdc2c6: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+crates/experiments/src/bin/fig03_decoder_ber.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_evm_positions-6f3f4afe4000cf45.d: crates/experiments/src/bin/fig05_evm_positions.rs
+
+/root/repo/target/debug/deps/fig05_evm_positions-6f3f4afe4000cf45: crates/experiments/src/bin/fig05_evm_positions.rs
+
+crates/experiments/src/bin/fig05_evm_positions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_evm_positions-95f1776bad410010.d: crates/experiments/src/bin/fig05_evm_positions.rs
+
+/root/repo/target/debug/deps/fig05_evm_positions-95f1776bad410010: crates/experiments/src/bin/fig05_evm_positions.rs
+
+crates/experiments/src/bin/fig05_evm_positions.rs:

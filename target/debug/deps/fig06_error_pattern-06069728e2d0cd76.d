@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_error_pattern-06069728e2d0cd76.d: crates/experiments/src/bin/fig06_error_pattern.rs
+
+/root/repo/target/debug/deps/fig06_error_pattern-06069728e2d0cd76: crates/experiments/src/bin/fig06_error_pattern.rs
+
+crates/experiments/src/bin/fig06_error_pattern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_error_pattern-76c4e71eb1dcdb8b.d: crates/experiments/src/bin/fig06_error_pattern.rs
+
+/root/repo/target/debug/deps/fig06_error_pattern-76c4e71eb1dcdb8b: crates/experiments/src/bin/fig06_error_pattern.rs
+
+crates/experiments/src/bin/fig06_error_pattern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_temporal-a7ec32571fae37c1.d: crates/experiments/src/bin/fig07_temporal.rs
+
+/root/repo/target/debug/deps/fig07_temporal-a7ec32571fae37c1: crates/experiments/src/bin/fig07_temporal.rs
+
+crates/experiments/src/bin/fig07_temporal.rs:

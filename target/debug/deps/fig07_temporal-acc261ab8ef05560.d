@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_temporal-acc261ab8ef05560.d: crates/experiments/src/bin/fig07_temporal.rs
+
+/root/repo/target/debug/deps/fig07_temporal-acc261ab8ef05560: crates/experiments/src/bin/fig07_temporal.rs
+
+crates/experiments/src/bin/fig07_temporal.rs:

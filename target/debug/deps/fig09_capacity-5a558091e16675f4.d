@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_capacity-5a558091e16675f4.d: crates/experiments/src/bin/fig09_capacity.rs
+
+/root/repo/target/debug/deps/fig09_capacity-5a558091e16675f4: crates/experiments/src/bin/fig09_capacity.rs
+
+crates/experiments/src/bin/fig09_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_capacity-b03b376fc90cba75.d: crates/experiments/src/bin/fig09_capacity.rs
+
+/root/repo/target/debug/deps/fig09_capacity-b03b376fc90cba75: crates/experiments/src/bin/fig09_capacity.rs
+
+crates/experiments/src/bin/fig09_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a_fft_snapshot-4775d28b5b0971c5.d: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+/root/repo/target/debug/deps/fig10a_fft_snapshot-4775d28b5b0971c5: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+crates/experiments/src/bin/fig10a_fft_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a_fft_snapshot-cadbf40d8f04cbdc.d: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+/root/repo/target/debug/deps/fig10a_fft_snapshot-cadbf40d8f04cbdc: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+crates/experiments/src/bin/fig10a_fft_snapshot.rs:

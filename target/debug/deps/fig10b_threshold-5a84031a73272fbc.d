@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b_threshold-5a84031a73272fbc.d: crates/experiments/src/bin/fig10b_threshold.rs
+
+/root/repo/target/debug/deps/fig10b_threshold-5a84031a73272fbc: crates/experiments/src/bin/fig10b_threshold.rs
+
+crates/experiments/src/bin/fig10b_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b_threshold-5c2949399bbc7a85.d: crates/experiments/src/bin/fig10b_threshold.rs
+
+/root/repo/target/debug/deps/fig10b_threshold-5c2949399bbc7a85: crates/experiments/src/bin/fig10b_threshold.rs
+
+crates/experiments/src/bin/fig10b_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c_detection_snr-04db0e69a7b4ae7d.d: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+/root/repo/target/debug/deps/fig10c_detection_snr-04db0e69a7b4ae7d: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+crates/experiments/src/bin/fig10c_detection_snr.rs:

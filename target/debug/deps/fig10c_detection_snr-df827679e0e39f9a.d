@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c_detection_snr-df827679e0e39f9a.d: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+/root/repo/target/debug/deps/fig10c_detection_snr-df827679e0e39f9a: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+crates/experiments/src/bin/fig10c_detection_snr.rs:

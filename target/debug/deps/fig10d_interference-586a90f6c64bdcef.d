@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d_interference-586a90f6c64bdcef.d: crates/experiments/src/bin/fig10d_interference.rs
+
+/root/repo/target/debug/deps/fig10d_interference-586a90f6c64bdcef: crates/experiments/src/bin/fig10d_interference.rs
+
+crates/experiments/src/bin/fig10d_interference.rs:

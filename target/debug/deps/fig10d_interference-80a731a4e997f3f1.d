@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d_interference-80a731a4e997f3f1.d: crates/experiments/src/bin/fig10d_interference.rs
+
+/root/repo/target/debug/deps/fig10d_interference-80a731a4e997f3f1: crates/experiments/src/bin/fig10d_interference.rs
+
+crates/experiments/src/bin/fig10d_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cross_crate-6ef9f21f2c60b404.d: tests/proptest_cross_crate.rs
+
+/root/repo/target/debug/deps/proptest_cross_crate-6ef9f21f2c60b404: tests/proptest_cross_crate.rs
+
+tests/proptest_cross_crate.rs:

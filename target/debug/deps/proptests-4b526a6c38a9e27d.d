@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4b526a6c38a9e27d.d: crates/dsp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4b526a6c38a9e27d: crates/dsp/tests/proptests.rs
+
+crates/dsp/tests/proptests.rs:

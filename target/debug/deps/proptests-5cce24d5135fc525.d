@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5cce24d5135fc525.d: crates/phy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5cce24d5135fc525: crates/phy/tests/proptests.rs
+
+crates/phy/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0e0ffa967856f97.d: crates/fec/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a0e0ffa967856f97: crates/fec/tests/proptests.rs
+
+crates/fec/tests/proptests.rs:

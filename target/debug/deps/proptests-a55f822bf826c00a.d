@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a55f822bf826c00a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a55f822bf826c00a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

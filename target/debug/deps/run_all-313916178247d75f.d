@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-313916178247d75f.d: crates/experiments/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-313916178247d75f: crates/experiments/src/bin/run_all.rs
+
+crates/experiments/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-6d136bd7f757517a.d: crates/experiments/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-6d136bd7f757517a: crates/experiments/src/bin/run_all.rs
+
+crates/experiments/src/bin/run_all.rs:

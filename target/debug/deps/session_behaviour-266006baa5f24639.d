@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_behaviour-266006baa5f24639.d: tests/session_behaviour.rs
+
+/root/repo/target/debug/deps/session_behaviour-266006baa5f24639: tests/session_behaviour.rs
+
+tests/session_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unsynced_reception-57d25f4f43a56ca6.d: tests/unsynced_reception.rs
+
+/root/repo/target/debug/deps/unsynced_reception-57d25f4f43a56ca6: tests/unsynced_reception.rs
+
+tests/unsynced_reception.rs:

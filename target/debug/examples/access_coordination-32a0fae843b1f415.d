@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/access_coordination-32a0fae843b1f415.d: examples/access_coordination.rs
+
+/root/repo/target/debug/examples/access_coordination-32a0fae843b1f415: examples/access_coordination.rs
+
+examples/access_coordination.rs:

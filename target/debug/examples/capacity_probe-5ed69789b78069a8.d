@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_probe-5ed69789b78069a8.d: examples/capacity_probe.rs
+
+/root/repo/target/debug/examples/capacity_probe-5ed69789b78069a8: examples/capacity_probe.rs
+
+examples/capacity_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mobile_walkthrough-c675db691dd69d9b.d: examples/mobile_walkthrough.rs
+
+/root/repo/target/debug/examples/mobile_walkthrough-c675db691dd69d9b: examples/mobile_walkthrough.rs
+
+examples/mobile_walkthrough.rs:

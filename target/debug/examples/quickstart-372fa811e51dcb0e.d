@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-372fa811e51dcb0e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-372fa811e51dcb0e: examples/quickstart.rs
+
+examples/quickstart.rs:

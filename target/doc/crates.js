@@ -1,0 +1,2 @@
+window.ALL_CRATES = ["cos"];
+//{"start":21,"fragment_lengths":[5]}

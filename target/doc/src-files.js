@@ -1,0 +1,2 @@
+createSrcSidebar('[["cos",["",[],["lib.rs"]]]]');
+//{"start":19,"fragment_lengths":[26]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_baseline-9709d79512f1e656.d: crates/experiments/src/bin/ablation_baseline.rs
+
+/root/repo/target/release/deps/ablation_baseline-9709d79512f1e656: crates/experiments/src/bin/ablation_baseline.rs
+
+crates/experiments/src/bin/ablation_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_evd-82f5e4b23a03c03b.d: crates/experiments/src/bin/ablation_evd.rs
+
+/root/repo/target/release/deps/ablation_evd-82f5e4b23a03c03b: crates/experiments/src/bin/ablation_evd.rs
+
+crates/experiments/src/bin/ablation_evd.rs:

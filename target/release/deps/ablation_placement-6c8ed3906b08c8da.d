@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_placement-6c8ed3906b08c8da.d: crates/experiments/src/bin/ablation_placement.rs
+
+/root/repo/target/release/deps/ablation_placement-6c8ed3906b08c8da: crates/experiments/src/bin/ablation_placement.rs
+
+crates/experiments/src/bin/ablation_placement.rs:

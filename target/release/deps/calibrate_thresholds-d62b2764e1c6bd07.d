@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate_thresholds-d62b2764e1c6bd07.d: crates/experiments/src/bin/calibrate_thresholds.rs
+
+/root/repo/target/release/deps/calibrate_thresholds-d62b2764e1c6bd07: crates/experiments/src/bin/calibrate_thresholds.rs
+
+crates/experiments/src/bin/calibrate_thresholds.rs:

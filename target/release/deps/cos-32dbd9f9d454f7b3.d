@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cos-32dbd9f9d454f7b3.d: src/lib.rs
+
+/root/repo/target/release/deps/libcos-32dbd9f9d454f7b3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcos-32dbd9f9d454f7b3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cos_bench-83d93448422e6d26.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcos_bench-83d93448422e6d26.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcos_bench-83d93448422e6d26.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cos_bench-9d8ea72ecf8616f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/cos_bench-9d8ea72ecf8616f2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cos_channel-3d4a5d66aa9b9ff2.d: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+/root/repo/target/release/deps/libcos_channel-3d4a5d66aa9b9ff2.rlib: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+/root/repo/target/release/deps/libcos_channel-3d4a5d66aa9b9ff2.rmeta: crates/channel/src/lib.rs crates/channel/src/awgn.rs crates/channel/src/calibration.rs crates/channel/src/interference.rs crates/channel/src/link.rs crates/channel/src/multipath.rs crates/channel/src/sounder.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/awgn.rs:
+crates/channel/src/calibration.rs:
+crates/channel/src/interference.rs:
+crates/channel/src/link.rs:
+crates/channel/src/multipath.rs:
+crates/channel/src/sounder.rs:

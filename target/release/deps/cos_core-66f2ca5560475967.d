@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cos_core-66f2ca5560475967.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+/root/repo/target/release/deps/libcos_core-66f2ca5560475967.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+/root/repo/target/release/deps/libcos_core-66f2ca5560475967.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/control_rate.rs crates/core/src/duplex.rs crates/core/src/energy_detector.rs crates/core/src/feedback.rs crates/core/src/interval.rs crates/core/src/messages.rs crates/core/src/power_controller.rs crates/core/src/session.rs crates/core/src/subcarrier_select.rs crates/core/src/validation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/control_rate.rs:
+crates/core/src/duplex.rs:
+crates/core/src/energy_detector.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interval.rs:
+crates/core/src/messages.rs:
+crates/core/src/power_controller.rs:
+crates/core/src/session.rs:
+crates/core/src/subcarrier_select.rs:
+crates/core/src/validation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cos_dsp-f9ac91d5d9534975.d: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+/root/repo/target/release/deps/libcos_dsp-f9ac91d5d9534975.rlib: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+/root/repo/target/release/deps/libcos_dsp-f9ac91d5d9534975.rmeta: crates/dsp/src/lib.rs crates/dsp/src/complex.rs crates/dsp/src/db.rs crates/dsp/src/fft.rs crates/dsp/src/prbs.rs crates/dsp/src/rng.rs crates/dsp/src/stats.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/db.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/prbs.rs:
+crates/dsp/src/rng.rs:
+crates/dsp/src/stats.rs:

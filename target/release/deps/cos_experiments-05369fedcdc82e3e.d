@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/cos_experiments-05369fedcdc82e3e.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libcos_experiments-05369fedcdc82e3e.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+/root/repo/target/release/deps/libcos_experiments-05369fedcdc82e3e.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/harness.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/harness.rs:
+crates/experiments/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cos_fec-2375dda0cac1b7f9.d: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+/root/repo/target/release/deps/libcos_fec-2375dda0cac1b7f9.rlib: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+/root/repo/target/release/deps/libcos_fec-2375dda0cac1b7f9.rmeta: crates/fec/src/lib.rs crates/fec/src/bits.rs crates/fec/src/conv.rs crates/fec/src/crc.rs crates/fec/src/interleaver.rs crates/fec/src/puncture.rs crates/fec/src/scrambler.rs crates/fec/src/viterbi.rs
+
+crates/fec/src/lib.rs:
+crates/fec/src/bits.rs:
+crates/fec/src/conv.rs:
+crates/fec/src/crc.rs:
+crates/fec/src/interleaver.rs:
+crates/fec/src/puncture.rs:
+crates/fec/src/scrambler.rs:
+crates/fec/src/viterbi.rs:

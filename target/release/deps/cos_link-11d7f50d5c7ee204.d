@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cos_link-11d7f50d5c7ee204.d: crates/bench/benches/cos_link.rs
+
+/root/repo/target/release/deps/cos_link-11d7f50d5c7ee204: crates/bench/benches/cos_link.rs
+
+crates/bench/benches/cos_link.rs:

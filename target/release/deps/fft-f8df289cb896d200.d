@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fft-f8df289cb896d200.d: crates/bench/benches/fft.rs
+
+/root/repo/target/release/deps/fft-f8df289cb896d200: crates/bench/benches/fft.rs
+
+crates/bench/benches/fft.rs:

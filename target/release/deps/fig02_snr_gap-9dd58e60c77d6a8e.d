@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_snr_gap-9dd58e60c77d6a8e.d: crates/experiments/src/bin/fig02_snr_gap.rs
+
+/root/repo/target/release/deps/fig02_snr_gap-9dd58e60c77d6a8e: crates/experiments/src/bin/fig02_snr_gap.rs
+
+crates/experiments/src/bin/fig02_snr_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_decoder_ber-2ba3e34125a29a44.d: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+/root/repo/target/release/deps/fig03_decoder_ber-2ba3e34125a29a44: crates/experiments/src/bin/fig03_decoder_ber.rs
+
+crates/experiments/src/bin/fig03_decoder_ber.rs:

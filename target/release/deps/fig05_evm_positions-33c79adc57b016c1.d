@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_evm_positions-33c79adc57b016c1.d: crates/experiments/src/bin/fig05_evm_positions.rs
+
+/root/repo/target/release/deps/fig05_evm_positions-33c79adc57b016c1: crates/experiments/src/bin/fig05_evm_positions.rs
+
+crates/experiments/src/bin/fig05_evm_positions.rs:

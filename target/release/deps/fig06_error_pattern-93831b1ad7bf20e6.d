@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_error_pattern-93831b1ad7bf20e6.d: crates/experiments/src/bin/fig06_error_pattern.rs
+
+/root/repo/target/release/deps/fig06_error_pattern-93831b1ad7bf20e6: crates/experiments/src/bin/fig06_error_pattern.rs
+
+crates/experiments/src/bin/fig06_error_pattern.rs:

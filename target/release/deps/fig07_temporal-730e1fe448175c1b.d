@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_temporal-730e1fe448175c1b.d: crates/experiments/src/bin/fig07_temporal.rs
+
+/root/repo/target/release/deps/fig07_temporal-730e1fe448175c1b: crates/experiments/src/bin/fig07_temporal.rs
+
+crates/experiments/src/bin/fig07_temporal.rs:

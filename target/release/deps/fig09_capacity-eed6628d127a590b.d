@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_capacity-eed6628d127a590b.d: crates/experiments/src/bin/fig09_capacity.rs
+
+/root/repo/target/release/deps/fig09_capacity-eed6628d127a590b: crates/experiments/src/bin/fig09_capacity.rs
+
+crates/experiments/src/bin/fig09_capacity.rs:

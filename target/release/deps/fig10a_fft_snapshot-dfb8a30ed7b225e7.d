@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a_fft_snapshot-dfb8a30ed7b225e7.d: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+/root/repo/target/release/deps/fig10a_fft_snapshot-dfb8a30ed7b225e7: crates/experiments/src/bin/fig10a_fft_snapshot.rs
+
+crates/experiments/src/bin/fig10a_fft_snapshot.rs:

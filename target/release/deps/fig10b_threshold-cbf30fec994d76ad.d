@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10b_threshold-cbf30fec994d76ad.d: crates/experiments/src/bin/fig10b_threshold.rs
+
+/root/repo/target/release/deps/fig10b_threshold-cbf30fec994d76ad: crates/experiments/src/bin/fig10b_threshold.rs
+
+crates/experiments/src/bin/fig10b_threshold.rs:

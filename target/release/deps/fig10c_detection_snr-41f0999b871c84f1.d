@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10c_detection_snr-41f0999b871c84f1.d: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+/root/repo/target/release/deps/fig10c_detection_snr-41f0999b871c84f1: crates/experiments/src/bin/fig10c_detection_snr.rs
+
+crates/experiments/src/bin/fig10c_detection_snr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10d_interference-e5b7c997edb82fcf.d: crates/experiments/src/bin/fig10d_interference.rs
+
+/root/repo/target/release/deps/fig10d_interference-e5b7c997edb82fcf: crates/experiments/src/bin/fig10d_interference.rs
+
+crates/experiments/src/bin/fig10d_interference.rs:

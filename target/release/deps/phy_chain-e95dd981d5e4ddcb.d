@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phy_chain-e95dd981d5e4ddcb.d: crates/bench/benches/phy_chain.rs
+
+/root/repo/target/release/deps/phy_chain-e95dd981d5e4ddcb: crates/bench/benches/phy_chain.rs
+
+crates/bench/benches/phy_chain.rs:

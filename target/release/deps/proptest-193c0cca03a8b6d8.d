@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-193c0cca03a8b6d8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-193c0cca03a8b6d8.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-193c0cca03a8b6d8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-53619713074fee0e.d: crates/experiments/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-53619713074fee0e: crates/experiments/src/bin/run_all.rs
+
+crates/experiments/src/bin/run_all.rs:

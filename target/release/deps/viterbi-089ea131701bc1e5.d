@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/viterbi-089ea131701bc1e5.d: crates/bench/benches/viterbi.rs
+
+/root/repo/target/release/deps/viterbi-089ea131701bc1e5: crates/bench/benches/viterbi.rs
+
+crates/bench/benches/viterbi.rs:

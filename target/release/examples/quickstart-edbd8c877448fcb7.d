@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-edbd8c877448fcb7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-edbd8c877448fcb7: examples/quickstart.rs
+
+examples/quickstart.rs:

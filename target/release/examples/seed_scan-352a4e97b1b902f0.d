@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-352a4e97b1b902f0.d: examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-352a4e97b1b902f0: examples/seed_scan.rs
+
+examples/seed_scan.rs:

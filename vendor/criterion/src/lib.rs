@@ -1,0 +1,257 @@
+//! Offline vendored shim for the subset of the [`criterion` 0.5 API] used
+//! by the `cos-bench` benchmarks.
+//!
+//! The build environment of this repository has no crates.io access (see
+//! the README's *offline builds* section), so this crate provides a small
+//! wall-clock benchmark harness with criterion-compatible surface:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is calibrated until one batch takes
+//! ≳ 20 ms, then several batches are timed and the **minimum per-iteration
+//! time** is reported (the minimum is the conventional low-noise estimator
+//! for micro-benchmarks). Results print to stdout as
+//! `name  time: <t> ns/iter`, and when the `COS_BENCH_JSON` environment
+//! variable names a file, one JSON line per benchmark
+//! (`{"name": ..., "ns_per_iter": ...}`) is appended to it — the repo's
+//! `BENCH_pr1.json` numbers are collected that way.
+//!
+//! [`criterion` 0.5 API]: https://docs.rs/criterion/0.5
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::Criterion;
+//! use std::hint::black_box;
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum_0_to_999", |b| {
+//!     b.iter(|| black_box((0..1000u64).sum::<u64>()))
+//! });
+//! ```
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group. Recorded but only used for
+/// display, like upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes in a decimal unit, kept for API parity.
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager. [`Default`]-constructed in [`criterion_main!`].
+#[derive(Debug)]
+pub struct Criterion {
+    /// Minimum duration of one calibrated measurement batch.
+    batch_target: Duration,
+    /// Measurement batches per benchmark.
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // COS_BENCH_MS overrides the per-batch budget (milliseconds).
+        let ms = std::env::var("COS_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(20u64);
+        Criterion { batch_target: Duration::from_millis(ms), batches: 5 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and reports its minimum per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Opens a named group; the shim simply prefixes benchmark names.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: group_name.into() }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: &mut F) {
+        // Calibrate: grow the iteration count until a batch is long enough
+        // to dominate timer noise.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= self.batch_target || iters >= 1 << 40 {
+                break b.elapsed.as_nanos() as f64 / iters as f64;
+            }
+            // Jump close to the target in one step once we have a signal.
+            let est = (b.elapsed.as_nanos() as f64).max(1.0);
+            let scale = (self.batch_target.as_nanos() as f64 / est).clamp(2.0, 1e6);
+            iters = (iters as f64 * scale).ceil() as u64;
+        };
+        let _ = per_iter;
+
+        // Measure: fixed iteration count, keep the fastest batch.
+        let mut best = f64::INFINITY;
+        for _ in 0..self.batches {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            best = best.min(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        println!("{name:<48} time: {best:>12.1} ns/iter  ({iters} iters/batch)");
+        if let Ok(path) = std::env::var("COS_BENCH_JSON") {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(file, "{{\"name\": \"{name}\", \"ns_per_iter\": {best:.1}}}");
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput (display-only in the shim).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+/// Command-line arguments (`--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reaches_target_and_reports_finite_time() {
+        std::env::set_var("COS_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &vec![1u64, 2, 3, 4], |b, v| {
+            b.iter(|| black_box(v.iter().sum::<u64>()))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("soft_decode", 1000).id, "soft_decode/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
