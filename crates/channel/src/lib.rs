@@ -32,6 +32,7 @@
 
 pub mod awgn;
 pub mod calibration;
+pub mod impairment;
 pub mod interference;
 pub mod link;
 pub mod multipath;
@@ -39,6 +40,10 @@ pub mod sounder;
 
 pub use awgn::Awgn;
 pub use calibration::Calibration;
+pub use impairment::{
+    AgcTransient, BurstInterference, CfoDrift, CollisionOverlap, FaultEngine, FeedbackCorruption,
+    FeedbackFate, FeedbackLoss, FeedbackStaleness, Impairment, ImpairmentCtx, MidFrameTruncation,
+};
 pub use interference::PulseInterferer;
 pub use link::Link;
 pub use multipath::{ChannelConfig, IndoorChannel};

@@ -10,6 +10,7 @@
 
 use crate::awgn::Awgn;
 use crate::calibration::Calibration;
+use crate::impairment::{FaultEngine, FeedbackFate, ImpairmentCtx};
 use crate::interference::PulseInterferer;
 use crate::multipath::{ChannelConfig, IndoorChannel};
 use crate::sounder::ChannelSounder;
@@ -32,6 +33,12 @@ pub struct Link {
     /// Noise-only samples prepended before the frame (receiver sees an
     /// idle channel first, as a real stream would).
     lead_in: usize,
+    /// Optional fault-injection engine (see [`crate::impairment`]).
+    faults: Option<FaultEngine>,
+    /// Packets transmitted so far — drives fault windows.
+    packet_index: u64,
+    /// Accumulated airtime in seconds (at 20 Msps) — drives drift faults.
+    airtime_s: f64,
 }
 
 impl Link {
@@ -48,6 +55,9 @@ impl Link {
             snr_db,
             cfo_hz: 0.0,
             lead_in: 0,
+            faults: None,
+            packet_index: 0,
+            airtime_s: 0.0,
         }
     }
 
@@ -70,6 +80,41 @@ impl Link {
     pub fn with_interferer(mut self, interferer: PulseInterferer) -> Self {
         self.interferer = Some(interferer);
         self
+    }
+
+    /// Attaches a fault-injection engine (builder style).
+    pub fn with_faults(mut self, engine: FaultEngine) -> Self {
+        self.faults = Some(engine);
+        self
+    }
+
+    /// Attaches or clears the fault-injection engine.
+    pub fn set_faults(&mut self, engine: Option<FaultEngine>) {
+        self.faults = engine;
+    }
+
+    /// The attached fault engine, if any.
+    pub fn faults(&self) -> Option<&FaultEngine> {
+        self.faults.as_ref()
+    }
+
+    /// Number of packets transmitted over this link so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packet_index
+    }
+
+    /// The fate of the EVM feedback report for the packet most recently
+    /// transmitted — [`FeedbackFate::Deliver`] when no engine is attached.
+    pub fn feedback_fate(&mut self) -> FeedbackFate {
+        let ctx = ImpairmentCtx {
+            packet_index: self.packet_index.saturating_sub(1),
+            time_s: self.airtime_s,
+            noise_var: self.awgn.noise_var(),
+        };
+        match &mut self.faults {
+            Some(engine) => engine.feedback_fate(&ctx),
+            None => FeedbackFate::Deliver,
+        }
     }
 
     /// The configured average SNR in dB.
@@ -114,7 +159,8 @@ impl Link {
     }
 
     /// Propagates a transmit waveform: channel convolution, CFO, optional
-    /// interference, AWGN, with any configured noise-only lead-in.
+    /// interference, injected faults, AWGN, with any configured noise-only
+    /// lead-in.
     pub fn transmit(&mut self, tx: &[Complex]) -> Vec<Complex> {
         let faded = self.channel.apply(tx);
         let mut rx = vec![Complex::ZERO; self.lead_in];
@@ -132,7 +178,17 @@ impl Link {
         if let Some(interferer) = &mut self.interferer {
             interferer.apply_in_place(&mut rx);
         }
+        if let Some(engine) = &mut self.faults {
+            let ctx = ImpairmentCtx {
+                packet_index: self.packet_index,
+                time_s: self.airtime_s,
+                noise_var: self.awgn.noise_var(),
+            };
+            engine.impair_waveform(&mut rx, &ctx);
+        }
         self.awgn.add_noise_in_place(&mut rx);
+        self.packet_index += 1;
+        self.airtime_s += rx.len() as f64 / 20e6;
         rx
     }
 }

@@ -37,7 +37,11 @@
 //!   channel, the related-work comparison (§V),
 //! * [`validation`] — decision-directed coherent silence validation, a
 //!   receiver-side extension that recovers near-exact control accuracy on
-//!   high-order QAM.
+//!   high-order QAM,
+//! * [`resilience`] — the fault-tolerance layer: control-message ARQ,
+//!   detector-threshold recalibration, and the degraded-mode state
+//!   machine that falls back to plain data transmission when the control
+//!   channel stops working (see `docs/ROBUSTNESS.md`).
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@ pub mod feedback;
 pub mod interval;
 pub mod messages;
 pub mod power_controller;
+pub mod resilience;
 pub mod session;
 pub mod subcarrier_select;
 pub mod validation;
@@ -66,5 +71,10 @@ pub use control_rate::ControlRateTable;
 pub use energy_detector::EnergyDetector;
 pub use interval::IntervalCodec;
 pub use power_controller::PowerController;
-pub use session::{CosSession, SessionConfig};
+pub use resilience::{
+    ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition, PhyErrorTally,
+    ResilienceConfig, ThresholdRecalibrator,
+};
+pub use session::{CosSession, ResilientReport, SessionConfig};
 pub use subcarrier_select::{select_control_subcarriers, SelectionPolicy};
+pub use validation::sanitize_selection;

@@ -12,7 +12,7 @@ use std::fmt;
 
 /// A 4-bit XOR-fold checksum over 4-bit nibbles.
 fn checksum4(bits: &[u8]) -> u8 {
-    debug_assert!(bits.len() % 4 == 0);
+    debug_assert!(bits.len().is_multiple_of(4));
     bits.chunks_exact(4)
         .fold(0u8, |acc, nibble| {
             acc ^ nibble.iter().fold(0u8, |v, &b| (v << 1) | b)
@@ -131,7 +131,7 @@ impl ControlMessage {
     /// [`MessageError`] when the stream is truncated, has an unknown tag
     /// or fails its checksum.
     pub fn from_bits(bits: &[u8]) -> Result<ControlMessage, MessageError> {
-        if bits.len() < 8 || bits.len() % 4 != 0 {
+        if bits.len() < 8 || !bits.len().is_multiple_of(4) {
             return Err(MessageError::Truncated);
         }
         let body = &bits[..bits.len() - 4];

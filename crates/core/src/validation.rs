@@ -21,6 +21,26 @@ use cos_dsp::Complex;
 use cos_phy::rx::FrontEnd;
 use cos_phy::subcarriers::{data_bins, NUM_DATA};
 
+/// First subcarrier of the fallback selection block (the session's
+/// bootstrap layout, Fig. 10(a)).
+pub const FALLBACK_SELECTION_START: usize = 9;
+
+/// Sanitises a subcarrier selection that may come from corrupted
+/// feedback: out-of-range indices are dropped, duplicates removed, and —
+/// crucially — an empty result is replaced by a valid contiguous fallback
+/// block of `min_len` subcarriers, so downstream silence placement never
+/// sees an empty or out-of-range set.
+pub fn sanitize_selection(selection: &mut Vec<usize>, min_len: usize) {
+    selection.retain(|&sc| sc < NUM_DATA);
+    selection.sort_unstable();
+    selection.dedup();
+    if selection.is_empty() {
+        let len = min_len.clamp(1, NUM_DATA);
+        let start = if FALLBACK_SELECTION_START + len <= NUM_DATA { FALLBACK_SELECTION_START } else { 0 };
+        *selection = (start..start + len).collect();
+    }
+}
+
 /// Coherently re-tests every control position against the reconstructed
 /// transmitted points, returning the validated silence positions
 /// (slot-major, same enumeration as the detector's).
@@ -131,6 +151,27 @@ mod tests {
             "coherent {coherent_errs} errors vs energy {energy_errs}"
         );
         assert!(coherent_errs <= 5, "coherent validation should be near-exact: {coherent_errs}");
+    }
+
+    #[test]
+    fn sanitize_replaces_empty_and_wild_selections() {
+        let mut empty = Vec::new();
+        sanitize_selection(&mut empty, 6);
+        assert_eq!(empty, (9..15).collect::<Vec<_>>());
+
+        let mut wild = vec![99, 99, 1000];
+        sanitize_selection(&mut wild, 6);
+        assert_eq!(wild, (9..15).collect::<Vec<_>>());
+
+        let mut dups = vec![12, 3, 12, 3, 47];
+        sanitize_selection(&mut dups, 6);
+        assert_eq!(dups, vec![3, 12, 47]);
+
+        // A min_len too large for the bootstrap offset falls back to a
+        // block anchored at 0, still fully in range.
+        let mut huge = Vec::new();
+        sanitize_selection(&mut huge, NUM_DATA);
+        assert_eq!(huge, (0..NUM_DATA).collect::<Vec<_>>());
     }
 
     #[test]

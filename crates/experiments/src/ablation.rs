@@ -138,44 +138,6 @@ pub fn run_placement(cfg: &Config) -> Table {
     table
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn evd_sustains_at_least_as_many_silences() {
-        let table = run_evd(&Config::quick());
-        for row in &table.rows {
-            let evd: usize = row[2].parse().expect("evd");
-            let err: usize = row[3].parse().expect("err");
-            assert!(evd >= err, "EVD {evd} must not lose to error-only {err}");
-            assert!(evd > 0, "EVD capacity must be positive at 16 dB");
-        }
-    }
-
-    #[test]
-    fn baseline_comparison_shows_the_tradeoffs() {
-        let table = run_baseline_comparison(&Config::quick());
-        for row in &table.rows {
-            let cos_data: f64 = row[2].parse().expect("cos data");
-            let flash_data: f64 = row[4].parse().expect("flash data");
-            let energy: f64 = row[5].parse().expect("energy");
-            assert!(cos_data > flash_data, "CoS must preserve data better: {row:?}");
-            assert!(energy > 1.0, "flashes must cost more energy than the whole frame");
-        }
-    }
-
-    #[test]
-    fn placement_produces_positive_capacities() {
-        let table = run_placement(&Config::quick());
-        for row in &table.rows {
-            let weak: usize = row[2].parse().expect("weak");
-            let random: usize = row[3].parse().expect("random");
-            assert!(weak > 0 && random > 0, "both placements must carry silences");
-        }
-    }
-}
-
 /// CoS vs the interference-margin (flash) baseline: control delivery,
 /// data survival and energy cost at a fixed control-message size.
 pub fn run_baseline_comparison(cfg: &Config) -> Table {
@@ -258,4 +220,42 @@ pub fn run_baseline_comparison(cfg: &Config) -> Table {
         table.push_row(row);
     }
     table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evd_sustains_at_least_as_many_silences() {
+        let table = run_evd(&Config::quick());
+        for row in &table.rows {
+            let evd: usize = row[2].parse().expect("evd");
+            let err: usize = row[3].parse().expect("err");
+            assert!(evd >= err, "EVD {evd} must not lose to error-only {err}");
+            assert!(evd > 0, "EVD capacity must be positive at 16 dB");
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_shows_the_tradeoffs() {
+        let table = run_baseline_comparison(&Config::quick());
+        for row in &table.rows {
+            let cos_data: f64 = row[2].parse().expect("cos data");
+            let flash_data: f64 = row[4].parse().expect("flash data");
+            let energy: f64 = row[5].parse().expect("energy");
+            assert!(cos_data > flash_data, "CoS must preserve data better: {row:?}");
+            assert!(energy > 1.0, "flashes must cost more energy than the whole frame");
+        }
+    }
+
+    #[test]
+    fn placement_produces_positive_capacities() {
+        let table = run_placement(&Config::quick());
+        for row in &table.rows {
+            let weak: usize = row[2].parse().expect("weak");
+            let random: usize = row[3].parse().expect("random");
+            assert!(weak > 0 && random > 0, "both placements must carry silences");
+        }
+    }
 }

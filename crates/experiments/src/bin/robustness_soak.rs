@@ -1,0 +1,37 @@
+//! Runs the fault-injection soak matrix over the resilient CoS session
+//! and emits `results/robustness_soak.csv` + `BENCH_pr2.json`.
+//!
+//! Flags: `--quick` (reduced matrix for the check.sh smoke test),
+//! `--threads N` (worker count; output is byte-identical at any value).
+//! Exits non-zero if any scenario misses its acceptance criteria.
+
+use cos_experiments::robustness::{run_soak, to_bench_json, Config};
+
+fn main() {
+    cos_experiments::harness::init_threads_from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { Config::quick() } else { Config::default() };
+    let (results, table) = run_soak(&cfg);
+
+    println!("{}", table.render());
+    if !quick {
+        match table.write_csv("results") {
+            Ok(path) => println!("[csv] {}", path.display()),
+            Err(e) => eprintln!("[csv] failed to write robustness_soak: {e}"),
+        }
+        let json = to_bench_json(&results, &cfg);
+        match std::fs::write("BENCH_pr2.json", &json) {
+            Ok(()) => println!("[json] BENCH_pr2.json"),
+            Err(e) => eprintln!("[json] failed to write BENCH_pr2.json: {e}"),
+        }
+    }
+
+    let failures: Vec<&str> =
+        results.iter().filter(|r| !r.pass).map(|r| r.name).collect();
+    if failures.is_empty() {
+        println!("\nsoak PASS: all {} scenarios met their criteria", results.len());
+    } else {
+        println!("\nsoak FAIL: {}", failures.join(", "));
+        std::process::exit(1);
+    }
+}

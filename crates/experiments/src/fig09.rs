@@ -136,7 +136,7 @@ pub fn run(cfg: &Config) -> Table {
             ],
         ));
     }
-    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.sort_by_key(|a| a.0);
     for (_, row) in rows {
         table.push_row(row);
     }

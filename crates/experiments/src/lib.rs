@@ -17,6 +17,7 @@
 //! | [`fig09`] | Fig. 9 | maximum silence rate Rm vs measured SNR, six rates |
 //! | [`fig10`] | Fig. 10 | FFT snapshot, threshold sweep, detection vs SNR, interference |
 //! | [`ablation`] | §II-D/III-E claims | EVD vs error-only; weak vs random placement |
+//! | [`robustness`] | — (PR 2) | fault-injection soak of the resilient session |
 
 pub mod ablation;
 pub mod fig02;
@@ -27,4 +28,5 @@ pub mod fig07;
 pub mod fig09;
 pub mod fig10;
 pub mod harness;
+pub mod robustness;
 pub mod table;

@@ -53,7 +53,7 @@ proptest! {
         data.extend_from_slice(&[0; 6]);
         // Pad so the mother-code output aligns with the puncture period.
         let period = rate.keep_mask().len();
-        while (data.len() * 2) % period != 0 {
+        while !(data.len() * 2).is_multiple_of(period) {
             data.push(0);
         }
         let coded = ConvEncoder::new().encode(&data);

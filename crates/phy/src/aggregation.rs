@@ -55,24 +55,21 @@ fn parse_delimiter(bytes: &[u8]) -> Option<usize> {
 ///
 /// # Errors
 ///
-/// [`PhyError::FrameTooShort`] is never returned here; the only failure
-/// is an oversized MPDU, reported as a panic because it is a caller bug.
-///
-/// # Panics
-///
-/// Panics if any `payload + 4` exceeds [`MAX_MPDU_LEN`] or the input is
-/// empty.
-pub fn aggregate(payloads: &[Vec<u8>]) -> Vec<u8> {
-    assert!(!payloads.is_empty(), "an aggregate needs at least one MPDU");
+/// [`PhyError::EmptyAggregate`] when the MPDU list is empty and
+/// [`PhyError::MpduTooLong`] when `payload + 4` (the FCS) exceeds
+/// [`MAX_MPDU_LEN`] — both can originate from untrusted upper-layer
+/// traffic, so neither panics.
+pub fn aggregate(payloads: &[Vec<u8>]) -> Result<Vec<u8>, PhyError> {
+    if payloads.is_empty() {
+        return Err(PhyError::EmptyAggregate);
+    }
     let crc = Crc32::new();
     let mut psdu = Vec::new();
     for payload in payloads {
         let mpdu = crc.append(payload);
-        assert!(
-            mpdu.len() <= MAX_MPDU_LEN,
-            "MPDU of {} bytes exceeds the 12-bit length field",
-            mpdu.len()
-        );
+        if mpdu.len() > MAX_MPDU_LEN {
+            return Err(PhyError::MpduTooLong { len: mpdu.len(), max: MAX_MPDU_LEN });
+        }
         psdu.extend_from_slice(&delimiter(mpdu.len()));
         psdu.extend_from_slice(&mpdu);
         // Pad to a 4-byte boundary (padding bytes are zero).
@@ -80,7 +77,7 @@ pub fn aggregate(payloads: &[Vec<u8>]) -> Vec<u8> {
             psdu.push(0);
         }
     }
-    psdu
+    Ok(psdu)
 }
 
 /// De-aggregates a received PSDU into per-subframe results: `Some(payload)`
@@ -97,9 +94,7 @@ pub fn deaggregate(psdu: &[u8]) -> Vec<Option<Vec<u8>>> {
                 out.push(crc.verify(mpdu).map(<[u8]>::to_vec));
                 pos += DELIMITER_LEN + len;
                 // Skip the padding.
-                while pos % 4 != 0 {
-                    pos += 1;
-                }
+                pos = pos.next_multiple_of(4);
             }
             _ => {
                 // Not a valid delimiter here: resync scan, 4-byte aligned
@@ -144,7 +139,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_all_subframes() {
-        let psdu = aggregate(&mpdus());
+        let psdu = aggregate(&mpdus()).expect("valid MPDUs");
         let got = deaggregate(&psdu);
         assert_eq!(got.len(), 4);
         for (g, want) in got.iter().zip(mpdus()) {
@@ -154,13 +149,13 @@ mod tests {
 
     #[test]
     fn psdu_is_four_byte_aligned_between_subframes() {
-        let psdu = aggregate(&mpdus());
+        let psdu = aggregate(&mpdus()).expect("valid MPDUs");
         assert_eq!(psdu.len() % 4, 0);
     }
 
     #[test]
     fn corrupted_subframe_is_isolated() {
-        let mut psdu = aggregate(&mpdus());
+        let mut psdu = aggregate(&mpdus()).expect("valid MPDUs");
         // Corrupt a byte inside the third subframe's MPDU body.
         let second_region = DELIMITER_LEN + 104 + DELIMITER_LEN + 19 + 1 + 20;
         psdu[second_region + 40] ^= 0xA5;
@@ -172,7 +167,7 @@ mod tests {
 
     #[test]
     fn corrupted_delimiter_resyncs_on_later_subframes() {
-        let mut psdu = aggregate(&mpdus());
+        let mut psdu = aggregate(&mpdus()).expect("valid MPDUs");
         psdu[0] ^= 0xFF; // destroy the first delimiter
         let got = deaggregate(&psdu);
         // First subframe is lost entirely (its delimiter is gone), but the
@@ -194,7 +189,7 @@ mod tests {
 
     #[test]
     fn single_subframe_aggregate() {
-        let psdu = aggregate(&[b"solo".to_vec()]);
+        let psdu = aggregate(&[b"solo".to_vec()]).expect("valid MPDU");
         let got = deaggregate(&psdu);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].as_deref(), Some(&b"solo"[..]));
@@ -209,14 +204,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "12-bit length")]
-    fn oversized_mpdu_panics() {
-        aggregate(&[vec![0u8; 5000]]);
+    fn oversized_mpdu_is_a_typed_error() {
+        assert_eq!(
+            aggregate(&[vec![0u8; 5000]]),
+            Err(PhyError::MpduTooLong { len: 5004, max: MAX_MPDU_LEN })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn empty_aggregate_panics() {
-        aggregate(&[]);
+    fn empty_aggregate_is_a_typed_error() {
+        assert_eq!(aggregate(&[]), Err(PhyError::EmptyAggregate));
     }
 }

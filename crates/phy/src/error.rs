@@ -30,6 +30,44 @@ pub enum PhyError {
     ScramblerSeed,
     /// No preamble was found in the sample stream.
     NoPreamble,
+    /// The DATA field carries fewer decoded bits than the SERVICE prefix
+    /// needs — the Viterbi input was empty or shorter than one seed's
+    /// worth of bits (severely truncated frame).
+    DataFieldTooShort {
+        /// Decoded DATA-field bits available.
+        got: usize,
+        /// Bits required to recover the scrambler seed.
+        need: usize,
+    },
+    /// An MPDU handed to the aggregator exceeds the 12-bit delimiter
+    /// length field.
+    MpduTooLong {
+        /// Offending MPDU length in bytes.
+        len: usize,
+        /// Maximum encodable length.
+        max: usize,
+    },
+    /// The aggregator was handed an empty MPDU list.
+    EmptyAggregate,
+}
+
+impl PhyError {
+    /// A short stable label for tallying errors by kind (used by the
+    /// resilience layer to classify receive failures without matching on
+    /// variant payloads).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhyError::FrameTooShort { .. } => "frame_too_short",
+            PhyError::SignalParity => "signal_parity",
+            PhyError::ReservedRate => "reserved_rate",
+            PhyError::LengthMismatch { .. } => "length_mismatch",
+            PhyError::ScramblerSeed => "scrambler_seed",
+            PhyError::NoPreamble => "no_preamble",
+            PhyError::DataFieldTooShort { .. } => "data_field_too_short",
+            PhyError::MpduTooLong { .. } => "mpdu_too_long",
+            PhyError::EmptyAggregate => "empty_aggregate",
+        }
+    }
 }
 
 impl fmt::Display for PhyError {
@@ -45,6 +83,13 @@ impl fmt::Display for PhyError {
             }
             PhyError::ScramblerSeed => write!(f, "could not recover scrambler seed"),
             PhyError::NoPreamble => write!(f, "no preamble found in sample stream"),
+            PhyError::DataFieldTooShort { got, need } => {
+                write!(f, "DATA field too short: got {got} bits, need {need}")
+            }
+            PhyError::MpduTooLong { len, max } => {
+                write!(f, "MPDU of {len} bytes exceeds delimiter maximum {max}")
+            }
+            PhyError::EmptyAggregate => write!(f, "cannot aggregate an empty MPDU list"),
         }
     }
 }
@@ -72,5 +117,24 @@ mod tests {
     fn implements_std_error() {
         fn is_error<E: Error>(_: E) {}
         is_error(PhyError::ReservedRate);
+    }
+
+    #[test]
+    fn kinds_are_distinct_labels() {
+        let all = [
+            PhyError::FrameTooShort { got: 0, need: 1 },
+            PhyError::SignalParity,
+            PhyError::ReservedRate,
+            PhyError::LengthMismatch { need: 1, got: 0 },
+            PhyError::ScramblerSeed,
+            PhyError::NoPreamble,
+            PhyError::DataFieldTooShort { got: 0, need: 7 },
+            PhyError::MpduTooLong { len: 5000, max: 4095 },
+            PhyError::EmptyAggregate,
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
     }
 }

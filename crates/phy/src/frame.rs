@@ -5,6 +5,7 @@
 //! integrity-checked exactly as the paper's receiver does before computing
 //! EVM feedback.
 
+use crate::error::PhyError;
 use crate::rates::DataRate;
 use cos_fec::bits::{bits_to_bytes, bytes_to_bits};
 use cos_fec::{ConvEncoder, Crc32, Interleaver, Scrambler, ViterbiDecoder};
@@ -92,16 +93,37 @@ pub struct DecodedData {
 /// the decoder truncates the mother-code stream there and decodes with
 /// proper termination, discarding the pad region entirely.
 ///
-/// Returns `None` if the scrambler seed cannot be recovered from the
-/// SERVICE prefix (possible only under catastrophic corruption).
-pub fn decode_data_field(llrs: &[f64], rate: DataRate, psdu_len: usize) -> Option<DecodedData> {
-    let deinterleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).deinterleave_soft(llrs);
+/// Fails with [`PhyError::DataFieldTooShort`] when the soft-bit stream is
+/// too truncated to even hold the 7-bit SERVICE scrambler prefix, and with
+/// [`PhyError::ScramblerSeed`] when the seed cannot be recovered from the
+/// SERVICE prefix (possible only under catastrophic corruption). Malformed
+/// input never panics.
+pub fn decode_data_field(
+    llrs: &[f64],
+    rate: DataRate,
+    psdu_len: usize,
+) -> Result<DecodedData, PhyError> {
+    // A truncated stream may end mid-symbol; only whole OFDM symbols can
+    // be deinterleaved, so drop the ragged tail instead of asserting.
+    let whole = llrs.len() - llrs.len() % rate.ncbps();
+    let deinterleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).deinterleave_soft(&llrs[..whole]);
     let mother = rate.code_rate().depuncture(&deinterleaved);
     let data_bits_to_tail = SERVICE_BITS + psdu_len * 8 + TAIL_BITS;
-    let coded_to_tail = (data_bits_to_tail * 2).min(mother.len());
+    // The Viterbi decoder consumes coded-bit pairs; an odd trailing bit
+    // from a truncated stream is dropped rather than asserted on.
+    let coded_to_tail = ((data_bits_to_tail * 2).min(mother.len())) & !1;
+    // Recovering the scrambler seed needs at least the 7 SERVICE prefix
+    // bits, i.e. 14 mother-code bits.
+    const SEED_BITS: usize = 7;
+    if coded_to_tail < SEED_BITS * 2 {
+        return Err(PhyError::DataFieldTooShort {
+            got: coded_to_tail / 2,
+            need: SEED_BITS,
+        });
+    }
     let scrambled = ViterbiDecoder::new().decode(&mother[..coded_to_tail], true);
-    let seed = Scrambler::recover_seed(&scrambled[..7])?;
-    Some(DecodedData {
+    let seed = Scrambler::recover_seed(&scrambled[..SEED_BITS]).ok_or(PhyError::ScramblerSeed)?;
+    Ok(DecodedData {
         bits: Scrambler::new(seed).scramble(&scrambled),
         scrambler_seed: seed,
     })
@@ -207,6 +229,28 @@ mod tests {
     #[test]
     fn extract_payload_rejects_short_input() {
         assert_eq!(extract_payload(&[0; 40], 100), None);
+    }
+
+    #[test]
+    fn truncated_llrs_yield_typed_error_not_panic() {
+        assert!(matches!(
+            decode_data_field(&[], DataRate::Mbps6, 100),
+            Err(PhyError::DataFieldTooShort { .. })
+        ));
+        // Shorter than one OFDM symbol: the ragged tail is dropped and
+        // nothing decodable remains.
+        assert!(matches!(
+            decode_data_field(&[1.0; 30], DataRate::Mbps6, 100),
+            Err(PhyError::DataFieldTooShort { .. })
+        ));
+        // Mid-symbol truncation of a real frame degrades to an error or a
+        // failed decode, never a panic.
+        let psdu = payload_to_psdu(b"truncated mid-flight");
+        let df = build_data_field(&psdu, DataRate::Mbps12, 0x5D);
+        let llrs = ideal_llrs(&df.interleaved);
+        for keep in [1, 47, 96, 131, llrs.len() - 1] {
+            let _ = decode_data_field(&llrs[..keep], DataRate::Mbps12, psdu.len());
+        }
     }
 
     #[test]

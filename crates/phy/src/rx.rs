@@ -124,6 +124,9 @@ pub struct RxFrame {
     /// [`crate::frame::DataField::interleaved`] for the decoder-input BER
     /// of the paper's Fig. 3.
     pub hard_coded_bits: Vec<u8>,
+    /// Why the DATA-field decode failed, when it did — lets the session
+    /// layer classify receive failures without re-running the decoder.
+    pub decode_error: Option<PhyError>,
 }
 
 impl RxFrame {
@@ -333,9 +336,9 @@ impl Receiver {
         }
 
         let decoded = decode_data_field(&llrs, fe.rate, fe.psdu_len);
-        let (data_bits, scrambler_seed) = match decoded {
-            Some(d) => (d.bits, Some(d.scrambler_seed)),
-            None => (Vec::new(), None),
+        let (data_bits, scrambler_seed, decode_error) = match decoded {
+            Ok(d) => (d.bits, Some(d.scrambler_seed), None),
+            Err(e) => (Vec::new(), None, Some(e)),
         };
         let payload = if data_bits.is_empty() {
             None
@@ -349,6 +352,7 @@ impl Receiver {
             data_bits,
             scrambler_seed,
             hard_coded_bits: hard,
+            decode_error,
         }
     }
 

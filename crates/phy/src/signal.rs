@@ -47,6 +47,21 @@ pub fn parse_signal_bits(bits: &[u8; SIGNAL_BITS]) -> Result<(DataRate, usize), 
     Ok((rate, length))
 }
 
+/// Parses a SIGNAL bit stream of arbitrary length — the panic-free entry
+/// point for untrusted input (fuzzers, corrupted captures).
+///
+/// # Errors
+///
+/// [`PhyError::FrameTooShort`] when fewer than [`SIGNAL_BITS`] bits are
+/// given; otherwise the parity/rate errors of [`parse_signal_bits`].
+pub fn parse_signal_slice(bits: &[u8]) -> Result<(DataRate, usize), PhyError> {
+    if bits.len() < SIGNAL_BITS {
+        return Err(PhyError::FrameTooShort { got: bits.len(), need: SIGNAL_BITS });
+    }
+    let arr: [u8; SIGNAL_BITS] = bits[..SIGNAL_BITS].try_into().expect("length checked");
+    parse_signal_bits(&arr)
+}
+
 /// Encodes the SIGNAL bits to 48 BPSK constellation points (rate 1/2,
 /// interleaved) ready for [`crate::ofdm::FreqSymbol::assemble`].
 pub fn encode_signal_symbol(rate: DataRate, length_bytes: usize) -> Vec<Complex> {
@@ -149,5 +164,15 @@ mod tests {
     #[should_panic(expected = "12 bits")]
     fn oversized_length_panics() {
         signal_bits(DataRate::Mbps6, 5000);
+    }
+
+    #[test]
+    fn slice_parser_rejects_short_input_without_panicking() {
+        assert!(matches!(
+            parse_signal_slice(&[1, 0, 1]),
+            Err(PhyError::FrameTooShort { got: 3, need: SIGNAL_BITS })
+        ));
+        let bits = signal_bits(DataRate::Mbps24, 321);
+        assert_eq!(parse_signal_slice(&bits), Ok((DataRate::Mbps24, 321)));
     }
 }

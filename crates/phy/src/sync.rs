@@ -230,7 +230,7 @@ mod tests {
         // the whole stream.
         let mut stream = vec![Complex::ZERO; offset];
         stream.extend_from_slice(&frame);
-        stream.extend(std::iter::repeat(Complex::ZERO).take(200));
+        stream.extend(std::iter::repeat_n(Complex::ZERO, 200));
         for s in &mut stream {
             *s += g.complex_normal(noise_var);
         }

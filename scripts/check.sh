@@ -19,4 +19,10 @@ cargo test -q --doc --workspace
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
+echo "== cargo clippy --workspace (warnings are errors)"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "== robustness_soak --quick (fault-matrix smoke: every impairment and mode transition, fixed seeds)"
+cargo run -q --release -p cos-experiments --bin robustness_soak -- --quick
+
 echo "ALL CHECKS PASSED"

@@ -33,6 +33,10 @@
 //! (The generated `addition_commutes` is an ordinary `#[test]` function,
 //! so it runs under `cargo test` rather than inside this doc example.)
 
+// The doc example above deliberately shows `#[test]` inside `proptest!` —
+// demonstrating the macro's interface is the point of the example.
+#![allow(clippy::test_attr_in_doctest)]
+
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
 
