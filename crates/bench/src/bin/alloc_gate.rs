@@ -1,0 +1,226 @@
+//! Allocation and throughput gate for the zero-copy workspace pipeline.
+//!
+//! Runs the same end-to-end chain (build frame → indoor channel →
+//! front end → decode) twice: once through the owned, allocating APIs
+//! and once through the `*_into` workspace pipeline, under a counting
+//! global allocator. Writes the comparison to `BENCH_pr4.json` in the
+//! current directory and, with `--check`, exits non-zero unless the
+//! workspace path allocates at most a tenth of what the owned path does
+//! per frame (the PR 4 acceptance floor).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cos_bench::bench_payload;
+use cos_channel::{ChannelConfig, Link};
+use cos_phy::rates::DataRate;
+use cos_phy::rx::{Receiver, RxConfig};
+use cos_phy::tx::Transmitter;
+use cos_phy::{PhyWorkspace, RxPipeline, TxPipeline};
+
+/// Forwards to the system allocator while counting every allocation
+/// (alloc + realloc) and the bytes requested.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+thread_local! {
+    static IN_TRACE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn trace_alloc(size: usize) {
+    if !TRACE.load(Ordering::Relaxed) {
+        return;
+    }
+    IN_TRACE.with(|c| {
+        if !c.get() {
+            c.set(true);
+            let bt = std::backtrace::Backtrace::force_capture();
+            eprintln!("ALLOC {size} bytes at:\n{bt}");
+            c.set(false);
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        trace_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn counters() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+const WARMUP_FRAMES: usize = 4;
+const MEASURED_FRAMES: usize = 40;
+const SNR_DB: f64 = 20.0;
+
+struct Measurement {
+    allocs_per_frame: f64,
+    bytes_per_frame: f64,
+    frames_per_sec: f64,
+    crc_ok: usize,
+}
+
+/// Runs `frames` iterations of `step` after a warmup, returning the
+/// per-frame allocation profile and throughput.
+fn measure(mut step: impl FnMut() -> bool) -> Measurement {
+    for _ in 0..WARMUP_FRAMES {
+        black_box(step());
+    }
+    let (a0, b0) = counters();
+    let start = Instant::now();
+    let mut crc_ok = 0usize;
+    for _ in 0..MEASURED_FRAMES {
+        if black_box(step()) {
+            crc_ok += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (a1, b1) = counters();
+    Measurement {
+        allocs_per_frame: (a1 - a0) as f64 / MEASURED_FRAMES as f64,
+        bytes_per_frame: (b1 - b0) as f64 / MEASURED_FRAMES as f64,
+        frames_per_sec: MEASURED_FRAMES as f64 / elapsed,
+        crc_ok,
+    }
+}
+
+fn run_owned() -> Measurement {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = Transmitter::new();
+    let rx = Receiver::new();
+    measure(|| {
+        let frame = tx.build_frame(&payload, DataRate::Mbps24, 0x5D);
+        let rx_samples = link.transmit(&frame.to_time_samples());
+        match rx.receive(&rx_samples, &RxConfig::ideal()) {
+            Ok(decoded) => decoded.crc_ok(),
+            Err(_) => false,
+        }
+    })
+}
+
+fn run_workspace() -> Measurement {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = TxPipeline::new();
+    let rx = RxPipeline::new();
+    let mut ws = PhyWorkspace::new();
+    measure(move || {
+        tx.build_and_render(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx);
+        link.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        let cos_phy::RxWorkspace { samples, fe, scratch, out } = &mut ws.rx;
+        match rx.receiver().front_end_into(samples, fe) {
+            Ok(()) => {
+                rx.receiver().decode_into(fe, None, scratch, out);
+                out.crc_ok
+            }
+            Err(_) => false,
+        }
+    })
+}
+
+/// Prints per-stage allocation counts for one frame on a warmed-up
+/// workspace — a debugging aid for chasing stray per-frame allocations.
+fn profile_stages() {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = TxPipeline::new();
+    let rx = RxPipeline::new();
+    let mut ws = PhyWorkspace::new();
+    let mut stage = |name: &str, f: &mut dyn FnMut(&mut PhyWorkspace, &mut Link)| {
+        let (a0, b0) = counters();
+        f(&mut ws, &mut link);
+        let (a1, b1) = counters();
+        eprintln!("{name:>12}: {} allocs, {} bytes", a1 - a0, b1 - b0);
+    };
+    IN_TRACE.with(|c| c.set(c.get()));
+    for round in 0..2 {
+        TRACE.store(round == 1 && std::env::var_os("ALLOC_GATE_TRACE").is_some(), Ordering::Relaxed);
+        eprintln!("--- frame {round} ---");
+        stage("build", &mut |ws, _| {
+            tx.build_and_render(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx)
+        });
+        stage("channel", &mut |ws, link| {
+            link.transmit_into(&ws.tx.samples, &mut ws.rx.samples)
+        });
+        stage("front_end", &mut |ws, _| {
+            let cos_phy::RxWorkspace { samples, fe, .. } = &mut ws.rx;
+            rx.receiver().front_end_into(samples, fe).expect("clean");
+        });
+        stage("decode", &mut |ws, _| {
+            let cos_phy::RxWorkspace { fe, scratch, out, .. } = &mut ws.rx;
+            rx.receiver().decode_into(fe, None, scratch, out);
+        });
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    if std::env::args().any(|a| a == "--profile") {
+        profile_stages();
+        return;
+    }
+
+    let owned = run_owned();
+    let workspace = run_workspace();
+
+    assert_eq!(
+        owned.crc_ok, workspace.crc_ok,
+        "owned and workspace paths decoded different frame counts"
+    );
+
+    // With a fully allocation-free workspace path the ratio is reported
+    // against a 1-alloc floor, i.e. "at least N× fewer".
+    let alloc_ratio = owned.allocs_per_frame / workspace.allocs_per_frame.max(1.0);
+    let speedup = workspace.frames_per_sec / owned.frames_per_sec;
+
+    let json = format!(
+        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {{\n    \"allocs_per_frame\": {:.2},\n    \"bytes_per_frame\": {:.0},\n    \"frames_per_sec\": {:.2}\n  }},\n  \"workspace\": {{\n    \"allocs_per_frame\": {:.2},\n    \"bytes_per_frame\": {:.0},\n    \"frames_per_sec\": {:.2}\n  }},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"crc_ok_frames\": {}\n}}\n",
+        owned.allocs_per_frame,
+        owned.bytes_per_frame,
+        owned.frames_per_sec,
+        workspace.allocs_per_frame,
+        workspace.bytes_per_frame,
+        workspace.frames_per_sec,
+        alloc_ratio,
+        speedup,
+        owned.crc_ok,
+    );
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    print!("{json}");
+
+    if check {
+        let pass = alloc_ratio >= 10.0 || speedup >= 1.5;
+        if !pass {
+            eprintln!(
+                "alloc gate FAILED: alloc reduction {alloc_ratio:.1}x (< 10x) and \
+                 rx speedup {speedup:.3}x (< 1.5x)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("alloc gate passed: {alloc_ratio:.1}x fewer allocs, {speedup:.3}x rx speedup");
+    }
+}

@@ -162,9 +162,18 @@ impl Link {
     /// interference, injected faults, AWGN, with any configured noise-only
     /// lead-in.
     pub fn transmit(&mut self, tx: &[Complex]) -> Vec<Complex> {
-        let faded = self.channel.apply(tx);
-        let mut rx = vec![Complex::ZERO; self.lead_in];
-        rx.extend(faded);
+        let mut rx = Vec::new();
+        self.transmit_into(tx, &mut rx);
+        rx
+    }
+
+    /// [`Link::transmit`] writing the received waveform into a
+    /// caller-owned buffer, which is fully overwritten — the zero-copy
+    /// pipeline's landing zone (e.g. `RxWorkspace::samples`).
+    pub fn transmit_into(&mut self, tx: &[Complex], rx: &mut Vec<Complex>) {
+        rx.clear();
+        rx.resize(self.lead_in, Complex::ZERO);
+        self.channel.apply_append(tx, rx);
         if self.cfo_hz != 0.0 {
             // The oscillator offset rotates everything the receiver sees.
             let step = 2.0 * std::f64::consts::PI * self.cfo_hz / 20e6;
@@ -176,7 +185,7 @@ impl Link {
             }
         }
         if let Some(interferer) = &mut self.interferer {
-            interferer.apply_in_place(&mut rx);
+            interferer.apply_in_place(rx);
         }
         if let Some(engine) = &mut self.faults {
             let ctx = ImpairmentCtx {
@@ -184,12 +193,11 @@ impl Link {
                 time_s: self.airtime_s,
                 noise_var: self.awgn.noise_var(),
             };
-            engine.impair_waveform(&mut rx, &ctx);
+            engine.impair_waveform(rx, &ctx);
         }
-        self.awgn.add_noise_in_place(&mut rx);
+        self.awgn.add_noise_in_place(rx);
         self.packet_index += 1;
         self.airtime_s += rx.len() as f64 / 20e6;
-        rx
     }
 }
 

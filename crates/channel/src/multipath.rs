@@ -162,14 +162,27 @@ impl IndoorChannel {
     /// Applies the channel (linear convolution with the taps) to a sample
     /// stream. Output length is `samples.len() + taps − 1`.
     pub fn apply(&self, samples: &[Complex]) -> Vec<Complex> {
-        let taps = self.taps();
-        let mut out = vec![Complex::ZERO; samples.len() + taps.len() - 1];
+        let mut out = Vec::new();
+        self.apply_append(samples, &mut out);
+        out
+    }
+
+    /// [`IndoorChannel::apply`] appending the convolution output to a
+    /// caller-owned buffer (after any existing contents, e.g. a noise-only
+    /// lead-in region).
+    pub fn apply_append(&self, samples: &[Complex], out: &mut Vec<Complex>) {
+        let n_taps = self.specular.len();
+        let base = out.len();
+        out.resize(base + samples.len() + n_taps - 1, Complex::ZERO);
+        let out = &mut out[base..];
+        // The composite taps are summed inline rather than via
+        // `self.taps()` to keep the per-frame hot path allocation-free;
+        // `s + d` here is bit-identical to `taps()[l]`.
         for (i, &x) in samples.iter().enumerate() {
-            for (l, &h) in taps.iter().enumerate() {
-                out[i + l] += x * h;
+            for (l, (s, d)) in self.specular.iter().zip(&self.diffuse).enumerate() {
+                out[i + l] += x * (*s + *d);
             }
         }
-        out
     }
 
     /// The 64-bin frequency response `H[k] = Σ_l h_l e^{−j2πkl/64}` — what

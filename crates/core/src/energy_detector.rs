@@ -24,7 +24,11 @@ use cos_phy::rx::FrontEnd;
 use cos_phy::subcarriers::{data_bins, NUM_DATA};
 
 /// Outcome of scanning a frame for silence symbols.
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty detection, usable as reusable scratch for
+/// [`EnergyDetector::detect_into`] — every `*_into` scan fully overwrites
+/// all three fields.
+#[derive(Debug, Clone, Default)]
 pub struct Detection {
     /// Slot-major control positions flagged silent.
     pub positions: Vec<usize>,
@@ -81,17 +85,30 @@ impl EnergyDetector {
         selected: &[usize],
         modulation: Modulation,
     ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.adaptive_thresholds_into(fe, selected, modulation, &mut out);
+        out
+    }
+
+    /// [`EnergyDetector::adaptive_thresholds`] writing into a caller-owned
+    /// buffer, which is fully overwritten.
+    pub fn adaptive_thresholds_into(
+        &self,
+        fe: &FrontEnd,
+        selected: &[usize],
+        modulation: Modulation,
+        out: &mut Vec<f64>,
+    ) {
         let eta = fe.noise_var_pilot.max(1e-15);
         let bias = db_to_linear(self.bias_db);
         let e_min = modulation.min_point_energy();
         let bins = data_bins();
-        selected
-            .iter()
-            .map(|&sc| {
-                let signal = e_min * fe.h_est[bins[sc]].norm_sqr();
-                bias * (eta * (signal + eta)).sqrt()
-            })
-            .collect()
+        out.clear();
+        out.reserve(selected.len());
+        out.extend(selected.iter().map(|&sc| {
+            let signal = e_min * fe.h_est[bins[sc]].norm_sqr();
+            bias * (eta * (signal + eta)).sqrt()
+        }));
     }
 
     /// Scans the frame's raw FFT output on the `selected` control
@@ -102,9 +119,28 @@ impl EnergyDetector {
     ///
     /// Panics if `selected` is empty, unsorted or out of range.
     pub fn detect(&self, fe: &FrontEnd, selected: &[usize]) -> Detection {
+        let mut thresholds = Vec::new();
+        let mut det = Detection::default();
+        self.detect_into(fe, selected, &mut thresholds, &mut det);
+        det
+    }
+
+    /// [`EnergyDetector::detect`] writing into caller-owned scratch:
+    /// `thresholds` and `det` are fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` is empty, unsorted or out of range.
+    pub fn detect_into(
+        &self,
+        fe: &FrontEnd,
+        selected: &[usize],
+        thresholds: &mut Vec<f64>,
+        det: &mut Detection,
+    ) {
         let modulation = fe.rate.modulation();
-        let thresholds = self.adaptive_thresholds(fe, selected, modulation);
-        self.detect_with_per_subcarrier_thresholds(fe, selected, &thresholds)
+        self.adaptive_thresholds_into(fe, selected, modulation, thresholds);
+        self.detect_with_per_subcarrier_thresholds_into(fe, selected, thresholds, det);
     }
 
     /// Scans with one global linear threshold (the Fig. 10(b) sweep).
@@ -134,6 +170,25 @@ impl EnergyDetector {
         selected: &[usize],
         thresholds: &[f64],
     ) -> Detection {
+        let mut det = Detection::default();
+        self.detect_with_per_subcarrier_thresholds_into(fe, selected, thresholds, &mut det);
+        det
+    }
+
+    /// [`EnergyDetector::detect_with_per_subcarrier_thresholds`] writing
+    /// into a caller-owned [`Detection`], which is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` is empty, unsorted, out of range, or the
+    /// threshold count differs.
+    pub fn detect_with_per_subcarrier_thresholds_into(
+        &self,
+        fe: &FrontEnd,
+        selected: &[usize],
+        thresholds: &[f64],
+        det: &mut Detection,
+    ) {
         assert!(!selected.is_empty(), "selected subcarrier set is empty");
         assert_eq!(thresholds.len(), selected.len(), "one threshold per selected subcarrier");
         for pair in selected.windows(2) {
@@ -143,19 +198,19 @@ impl EnergyDetector {
 
         let bins = data_bins();
         let n_sel = selected.len();
-        let mut positions = Vec::new();
-        let mut erasures = vec![[false; NUM_DATA]; fe.raw_symbols.len()];
+        det.positions.clear();
+        det.erasures.clear();
+        det.erasures.resize(fe.raw_symbols.len(), [false; NUM_DATA]);
         for (sym_idx, sym) in fe.raw_symbols.iter().enumerate() {
             for (j, (&sc, &thr)) in selected.iter().zip(thresholds).enumerate() {
                 let energy = sym.0[bins[sc]].norm_sqr();
                 if energy < thr {
-                    positions.push(sym_idx * n_sel + j);
-                    erasures[sym_idx][sc] = true;
+                    det.positions.push(sym_idx * n_sel + j);
+                    det.erasures[sym_idx][sc] = true;
                 }
             }
         }
-        let mean_threshold = thresholds.iter().sum::<f64>() / thresholds.len() as f64;
-        Detection { positions, erasures, mean_threshold }
+        det.mean_threshold = thresholds.iter().sum::<f64>() / thresholds.len() as f64;
     }
 }
 

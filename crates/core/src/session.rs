@@ -15,7 +15,7 @@
 //!   data transmission when the control channel stops working.
 
 use crate::control_rate::{ControlRateAdapter, ControlRateTable};
-use crate::energy_detector::{DetectionAccuracy, EnergyDetector};
+use crate::energy_detector::{Detection, DetectionAccuracy, EnergyDetector};
 use crate::interval::IntervalCodec;
 use crate::power_controller::{EmbedError, PowerController};
 use crate::resilience::{
@@ -26,11 +26,12 @@ use crate::subcarrier_select::{select_control_subcarriers, SelectionPolicy};
 use crate::validation::{sanitize_selection, validate_silences};
 use cos_channel::{ChannelConfig, FaultEngine, FeedbackFate, Link};
 use cos_phy::error::PhyError;
-use cos_phy::evm::{per_subcarrier_evm, reconstruct_points};
+use cos_phy::evm::{per_subcarrier_evm, reconstruct_points_into};
 use cos_phy::rates::DataRate;
 use cos_phy::rx::Receiver;
 use cos_phy::subcarriers::NUM_DATA;
 use cos_phy::tx::Transmitter;
+use cos_phy::{PhyWorkspace, TxWorkspace};
 use std::collections::VecDeque;
 
 /// Configuration of a CoS session.
@@ -177,6 +178,19 @@ pub struct CosSession {
     rate: DataRate,
     seq: u64,
     resilience: Option<ResilienceState>,
+    /// Per-session zero-copy PHY scratch: the tx frame and waveform, the
+    /// rx landing zone, and the decoder workspace. Every packet reuses
+    /// these buffers; every stage fully overwrites what it writes.
+    ws: PhyWorkspace,
+    /// Reference-frame reconstruction scratch for the EVM feedback loop
+    /// (kept separate from `ws.tx`, which still holds the sent frame).
+    ref_tx: TxWorkspace,
+    /// Energy-detection scratch.
+    det: Detection,
+    /// Adaptive-threshold scratch.
+    thresholds: Vec<f64>,
+    /// The per-packet (possibly expanded) working copy of `selected`.
+    sel_scratch: Vec<usize>,
 }
 
 impl CosSession {
@@ -206,6 +220,11 @@ impl CosSession {
             rate,
             seq: 0,
             resilience,
+            ws: PhyWorkspace::new(),
+            ref_tx: TxWorkspace::new(),
+            det: Detection::default(),
+            thresholds: Vec::new(),
+            sel_scratch: Vec::new(),
             config,
         }
     }
@@ -299,30 +318,34 @@ impl CosSession {
         self.seq += 1;
         let scrambler_seed = (self.seq % 127 + 1) as u8;
         let rate = self.rate;
-        let mut frame = self.phy_tx.build_frame(payload, rate, scrambler_seed);
+        self.phy_tx.build_frame_into(payload, rate, scrambler_seed, &mut self.ws.tx);
 
         // Embed; if the message outgrows the current selection (short
         // frame or long message), expand the control-subcarrier set for
         // this packet with evenly spaced extras — best effort, exactly
-        // what a sender with a stale feedback vector would do.
-        let mut selected = self.selected.clone();
+        // what a sender with a stale feedback vector would do. The
+        // working copy lives in session scratch so the session's own
+        // `selected` stays the receiver's last report.
+        self.sel_scratch.clear();
+        self.sel_scratch.extend_from_slice(&self.selected);
         let truth = if embed_control {
             loop {
-                match self.controller.embed(&mut frame, &selected, control_bits) {
+                match self.controller.embed(&mut self.ws.tx.frame, &self.sel_scratch, control_bits)
+                {
                     Ok(positions) => break positions,
                     Err(EmbedError::NoControlSubcarriers) => {
                         panic!("session always keeps a non-empty selection")
                     }
                     Err(e @ EmbedError::MessageTooLong { .. }) => {
-                        if selected.len() >= NUM_DATA {
+                        if self.sel_scratch.len() >= NUM_DATA {
                             panic!("{e}: message exceeds the frame's total control capacity");
                         }
                         let mut extra: Vec<usize> =
-                            (0..NUM_DATA).filter(|sc| !selected.contains(sc)).collect();
+                            (0..NUM_DATA).filter(|sc| !self.sel_scratch.contains(sc)).collect();
                         // Spread the extras across the band.
                         extra.sort_by_key(|&sc| (sc * 7919) % NUM_DATA);
-                        selected.extend(extra.into_iter().take(6));
-                        selected.sort_unstable();
+                        self.sel_scratch.extend(extra.into_iter().take(6));
+                        self.sel_scratch.sort_unstable();
                     }
                 }
             }
@@ -331,22 +354,46 @@ impl CosSession {
         };
         let silences_sent = truth.len();
 
-        // Air.
-        let rx_samples = self.link.transmit(&frame.to_time_samples());
+        // Air: render the waveform and land the channel output straight
+        // in the receive workspace.
+        {
+            let CosSession { link, ws, .. } = self;
+            ws.tx.render();
+            let PhyWorkspace { tx, rx } = ws;
+            link.transmit_into(&tx.samples, &mut rx.samples);
+        }
 
-        // Receive: front end, energy detection, erasure decode.
-        let result = match self.phy_rx.front_end(&rx_samples) {
-            Ok(fe) => {
-                let detection = embed_control.then(|| self.detector.detect(&fe, &selected));
-                let total = fe.raw_symbols.len() * selected.len();
-                let mut accuracy = detection.as_ref().map_or_else(DetectionAccuracy::default, |d| {
-                    DetectionAccuracy::evaluate(&d.positions, &truth, total)
-                });
-                let erasures = detection.as_ref().map(|d| d.erasures.as_slice());
-                let rx = self.phy_rx.decode(&fe, erasures);
-                let mut control =
-                    detection.as_ref().and_then(|d| d.control_bits(self.controller.codec()));
-                let measured = fe.measured_snr_db();
+        // Receive: front end, energy detection, erasure decode — all into
+        // session-owned scratch.
+        let result = match self.phy_rx.front_end_into(&self.ws.rx.samples, &mut self.ws.rx.fe) {
+            Ok(()) => {
+                if embed_control {
+                    self.detector.detect_into(
+                        &self.ws.rx.fe,
+                        &self.sel_scratch,
+                        &mut self.thresholds,
+                        &mut self.det,
+                    );
+                }
+                let total = self.ws.rx.fe.raw_symbols.len() * self.sel_scratch.len();
+                let mut accuracy = if embed_control {
+                    DetectionAccuracy::evaluate(&self.det.positions, &truth, total)
+                } else {
+                    DetectionAccuracy::default()
+                };
+                let erasures = embed_control.then_some(self.det.erasures.as_slice());
+                self.phy_rx.decode_into(
+                    &self.ws.rx.fe,
+                    erasures,
+                    &mut self.ws.rx.scratch,
+                    &mut self.ws.rx.out,
+                );
+                let mut control = if embed_control {
+                    self.det.control_bits(self.controller.codec())
+                } else {
+                    None
+                };
+                let measured = self.ws.rx.fe.measured_snr_db();
 
                 // Feedback loop: EVM-based subcarrier selection for the
                 // next packet, valid only when the CRC passed. The same
@@ -355,24 +402,33 @@ impl CosSession {
                 // masquerading as silences).
                 let next_rate = self.config.rate.unwrap_or_else(|| DataRate::select(measured));
                 let mut feedback = None;
-                if let (Some(payload_rx), Some(seed)) = (&rx.payload, rx.scrambler_seed) {
-                    let reference = reconstruct_points(payload_rx, rate, seed);
+                if let (true, Some(seed)) =
+                    (self.ws.rx.out.crc_ok, self.ws.rx.out.scrambler_seed)
+                {
+                    let reference = reconstruct_points_into(
+                        &self.ws.rx.out.payload,
+                        rate,
+                        seed,
+                        &mut self.ref_tx,
+                    );
                     let mut false_alarms = 0;
                     let mut normal_positions = 0;
-                    if let Some(d) = &detection {
-                        let refined = validate_silences(&fe, &selected, &reference);
+                    if embed_control {
+                        let refined =
+                            validate_silences(&self.ws.rx.fe, &self.sel_scratch, reference);
                         accuracy = DetectionAccuracy::evaluate(&refined, &truth, total);
                         control = self.controller.codec().decode(&refined);
-                        false_alarms = d.positions.iter().filter(|p| !refined.contains(p)).count();
+                        false_alarms =
+                            self.det.positions.iter().filter(|p| !refined.contains(p)).count();
                         normal_positions = total - refined.len();
                     }
                     let evm = per_subcarrier_evm(
-                        &fe.equalized,
-                        &reference,
+                        &self.ws.rx.fe.equalized,
+                        reference,
                         rate.modulation(),
                         erasures,
                     );
-                    let snrs = fe.per_subcarrier_snr();
+                    let snrs = self.ws.rx.fe.per_subcarrier_snr();
                     let mut snr_db = [0.0f64; NUM_DATA];
                     for (slot, &s) in snr_db.iter_mut().zip(snrs.iter()) {
                         *slot = cos_dsp::linear_to_db(s.max(1e-12));
@@ -395,7 +451,7 @@ impl CosSession {
 
                 let control_ok = embed_control && control.as_deref() == Some(control_bits);
                 Transceived {
-                    data_ok: rx.crc_ok(),
+                    data_ok: self.ws.rx.out.crc_ok,
                     front_end_ok: true,
                     control,
                     control_ok,
@@ -403,7 +459,7 @@ impl CosSession {
                     accuracy,
                     measured,
                     rate,
-                    phy_error: rx.decode_error,
+                    phy_error: self.ws.rx.out.decode_error,
                     feedback,
                 }
             }
@@ -585,15 +641,16 @@ impl CosSession {
             phy_error: t.phy_error.map(|e| e.kind()),
         }
     }
-}
-
-/// Bounds a selection to the 48 data subcarriers; a selection that ends
-/// up empty (all indices out of range — corrupted feedback) is replaced
-/// by the bootstrap fallback block, so silence placement never sees an
-/// empty or out-of-range set. (Exposed for harness code that builds
-/// custom selections.)
-pub fn clamp_selection(selection: &mut Vec<usize>) {
-    sanitize_selection(selection, 6);
+    /// Bounds the session's control-subcarrier selection to the 48 data
+    /// subcarriers, in place: out-of-range indices are dropped, duplicates
+    /// removed, and a selection that ends up empty (all indices out of
+    /// range — corrupted feedback) is replaced by the bootstrap fallback
+    /// block, so silence placement never sees an empty or out-of-range
+    /// set. Harness code that builds custom selections outside a session
+    /// should use [`crate::validation::sanitize_selection`] directly.
+    pub fn clamp_selection(&mut self) {
+        sanitize_selection(&mut self.selected, self.config.min_control_subcarriers);
+    }
 }
 
 #[cfg(test)]
@@ -679,19 +736,22 @@ mod tests {
 
     #[test]
     fn clamp_selection_sanitises() {
-        let mut sel = vec![50, 3, 3, 12];
-        clamp_selection(&mut sel);
-        assert_eq!(sel, vec![3, 12]);
+        let mut s = CosSession::new(SessionConfig::default(), 1);
+        s.selected = vec![50, 3, 3, 12];
+        s.clamp_selection();
+        assert_eq!(s.selected_subcarriers(), &[3, 12]);
     }
 
     #[test]
     fn clamp_selection_falls_back_when_emptied() {
         // Everything out of range — the paper's loop would panic deep in
         // silence placement; the fallback keeps the link alive.
-        let mut sel = vec![48, 99, 1000];
-        clamp_selection(&mut sel);
-        assert!(!sel.is_empty());
-        assert!(sel.iter().all(|&sc| sc < NUM_DATA));
+        let mut s = CosSession::new(SessionConfig::default(), 1);
+        s.selected = vec![48, 99, 1000];
+        s.clamp_selection();
+        assert!(!s.selected_subcarriers().is_empty());
+        assert!(s.selected_subcarriers().iter().all(|&sc| sc < NUM_DATA));
+        assert!(s.selected_subcarriers().len() >= s.config.min_control_subcarriers);
     }
 
     #[test]

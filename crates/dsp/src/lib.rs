@@ -35,6 +35,7 @@ pub mod fft;
 pub mod prbs;
 pub mod rng;
 pub mod stats;
+pub mod workspace;
 
 pub use complex::Complex;
 pub use db::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};

@@ -1,0 +1,107 @@
+//! A tiny buffer slab for reusing heap allocations across pipeline stages.
+//!
+//! The zero-copy pipeline (see `docs/ARCHITECTURE.md`) threads caller-owned
+//! scratch through every stage. Most stages know their buffers statically
+//! and hold plain `Vec` fields; [`SlabPool`] covers the remainder — places
+//! that need a variable number of temporary `Vec`s per frame (one per OFDM
+//! symbol, one per aggregated MPDU, …) and would otherwise allocate and
+//! drop them each time.
+//!
+//! The pool is deliberately minimal: a LIFO stack of spare `Vec`s with no
+//! interior mutability and no thread-safety machinery. Ownership follows
+//! the workspace that embeds it, which is exactly one session or one
+//! worker thread — the same rule every other scratch buffer in the
+//! pipeline obeys.
+
+/// A LIFO pool of reusable `Vec<T>` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use cos_dsp::workspace::SlabPool;
+///
+/// let mut pool: SlabPool<f64> = SlabPool::new();
+/// let mut buf = pool.take();       // empty, possibly with spare capacity
+/// buf.extend([1.0, 2.0, 3.0]);
+/// pool.put(buf);                   // capacity is retained…
+/// let again = pool.take();         // …and handed back out, cleared
+/// assert!(again.is_empty());
+/// assert!(again.capacity() >= 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlabPool<T> {
+    spare: Vec<Vec<T>>,
+}
+
+impl<T> SlabPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        SlabPool { spare: Vec::new() }
+    }
+
+    /// Takes a buffer from the pool, or a fresh empty `Vec` if none is
+    /// spare. The returned buffer is always empty (`len == 0`) but may
+    /// carry capacity from a previous user.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.spare.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Contents are discarded on
+    /// the next [`SlabPool::take`]; capacity is retained.
+    pub fn put(&mut self, buf: Vec<T>) {
+        self.spare.push(buf);
+    }
+
+    /// Number of spare buffers currently pooled.
+    pub fn spare_count(&self) -> usize {
+        self.spare.len()
+    }
+}
+
+/// Clears `buf` and resizes it to `len` copies of `fill` — the canonical
+/// "fully overwrite the reused buffer" helper that keeps `*_into` stages
+/// independent of whatever a previous frame left behind.
+pub fn reset_to<T: Clone>(buf: &mut Vec<T>, len: usize, fill: T) {
+    buf.clear();
+    buf.resize(len, fill);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_capacity() {
+        let mut pool: SlabPool<u8> = SlabPool::new();
+        let mut a = pool.take();
+        a.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = a.as_ptr();
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.as_ptr(), ptr, "the same allocation comes back");
+        assert_eq!(pool.spare_count(), 0);
+    }
+
+    #[test]
+    fn take_from_empty_pool_is_fresh() {
+        let mut pool: SlabPool<f64> = SlabPool::new();
+        assert_eq!(pool.spare_count(), 0);
+        assert!(pool.take().is_empty());
+    }
+
+    #[test]
+    fn reset_to_overwrites_stale_contents() {
+        let mut buf = vec![7u8; 10];
+        reset_to(&mut buf, 4, 0);
+        assert_eq!(buf, [0, 0, 0, 0]);
+        reset_to(&mut buf, 6, 9);
+        assert_eq!(buf, [9; 6]);
+    }
+}

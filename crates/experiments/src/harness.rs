@@ -14,7 +14,7 @@
 //! byte-identical `results/*.csv` files — see `docs/DETERMINISM.md`.
 
 use cos_channel::{ChannelConfig, Link};
-use cos_core::energy_detector::{DetectionAccuracy, EnergyDetector};
+use cos_core::energy_detector::{Detection, DetectionAccuracy, EnergyDetector};
 use cos_core::interval::IntervalCodec;
 use cos_core::power_controller::{EmbedError, PowerController};
 use cos_core::subcarrier_select::{
@@ -25,9 +25,28 @@ use cos_phy::rates::DataRate;
 use cos_phy::rx::Receiver;
 use cos_phy::subcarriers::NUM_DATA;
 use cos_phy::tx::Transmitter;
+use cos_phy::PhyWorkspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-worker-thread zero-copy scratch for the packet trial loops: one
+/// PHY workspace plus detector scratch, reused across every trial the
+/// thread claims. Each [`run_trials`] worker gets its own copy via
+/// thread-local storage, so trials stay independent and the determinism
+/// contract is untouched — every `*_into` stage fully overwrites its
+/// outputs, making a dirty workspace indistinguishable from a fresh one.
+#[derive(Debug, Default)]
+struct HarnessWorkspace {
+    phy: PhyWorkspace,
+    det: Detection,
+    thresholds: Vec<f64>,
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<HarnessWorkspace> = RefCell::new(HarnessWorkspace::default());
+}
 
 /// The paper's packet-reception-rate target for measuring `Rm`.
 pub const TARGET_PRR: f64 = 0.993;
@@ -161,33 +180,40 @@ pub struct Probe {
 /// Panics if even the probe's front end fails (sample stream shorter than
 /// a preamble — cannot happen with a well-formed link).
 pub fn probe_channel(link: &mut Link) -> Probe {
-    let rate = DataRate::Mbps6;
-    let frame = Transmitter::new().build_frame(&paper_payload()[..200], rate, 0x5D);
-    let rx_samples = link.transmit(&frame.to_time_samples());
-    let receiver = Receiver::new();
-    // The harness knows the probe's rate/length, so channels too poor to
-    // carry the SIGNAL field can still be characterised.
-    let fe = receiver
-        .front_end_known(&rx_samples, rate, frame.psdu_len)
-        .expect("probe framing is well-formed");
-    let rx = receiver.decode(&fe, None);
-    // EVM against the known transmitted points (the experiment harness is
-    // entitled to ground truth; a deployed receiver reconstructs after a
-    // CRC pass, which `CosSession` exercises).
-    let evm = per_subcarrier_evm(&fe.equalized, &frame.mapped_points, rate.modulation(), None);
-    let snrs = fe.per_subcarrier_snr();
-    let mut snr_db = [0.0f64; NUM_DATA];
-    for (slot, &s) in snr_db.iter_mut().zip(snrs.iter()) {
-        *slot = cos_dsp::linear_to_db(s.max(1e-12));
-    }
-    let measured = fe.measured_snr_db();
-    let _ = rx;
-    Probe {
-        evm,
-        snr_db,
-        measured_snr_db: measured,
-        selected_rate: DataRate::select(measured),
-    }
+    WORKSPACE.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        let PhyWorkspace { tx: txws, rx: rxws } = &mut ws.phy;
+        let rate = DataRate::Mbps6;
+        Transmitter::new().build_frame_into(&paper_payload()[..200], rate, 0x5D, txws);
+        txws.render();
+        link.transmit_into(&txws.samples, &mut rxws.samples);
+        // The harness knows the probe's rate/length, so channels too poor
+        // to carry the SIGNAL field can still be characterised.
+        Receiver::new()
+            .front_end_known_into(&rxws.samples, rate, txws.frame.psdu_len, &mut rxws.fe)
+            .expect("probe framing is well-formed");
+        // EVM against the known transmitted points (the experiment harness
+        // is entitled to ground truth; a deployed receiver reconstructs
+        // after a CRC pass, which `CosSession` exercises).
+        let evm = per_subcarrier_evm(
+            &rxws.fe.equalized,
+            &txws.frame.mapped_points,
+            rate.modulation(),
+            None,
+        );
+        let snrs = rxws.fe.per_subcarrier_snr();
+        let mut snr_db = [0.0f64; NUM_DATA];
+        for (slot, &s) in snr_db.iter_mut().zip(snrs.iter()) {
+            *slot = cos_dsp::linear_to_db(s.max(1e-12));
+        }
+        let measured = rxws.fe.measured_snr_db();
+        Probe {
+            evm,
+            snr_db,
+            measured_snr_db: measured,
+            selected_rate: DataRate::select(measured),
+        }
+    })
 }
 
 /// Placement policies for the capacity experiments.
@@ -297,64 +323,64 @@ pub fn run_packet(
     selected: &[usize],
     rng: &mut StdRng,
 ) -> PacketOutcome {
-    let codec = IntervalCodec::default();
-    let controller = PowerController::new(codec);
-    let detector = EnergyDetector::default();
-    let scrambler_seed = rng.gen_range(1..0x80u8);
-    let mut frame = Transmitter::new().build_frame(&cfg.payload, cfg.rate, scrambler_seed);
+    WORKSPACE.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        let HarnessWorkspace { phy, det, thresholds } = ws;
+        let PhyWorkspace { tx: txws, rx: rxws } = phy;
+        let codec = IntervalCodec::default();
+        let controller = PowerController::new(codec);
+        let detector = EnergyDetector::default();
+        let scrambler_seed = rng.gen_range(1..0x80u8);
+        Transmitter::new().build_frame_into(&cfg.payload, cfg.rate, scrambler_seed, txws);
 
-    let bits = if cfg.silences == 0 {
-        Vec::new()
-    } else {
-        random_bits((cfg.silences - 1) * codec.bits_per_interval(), rng)
-    };
-    let truth = if cfg.silences == 0 {
-        Vec::new()
-    } else {
-        match controller.embed(&mut frame, selected, &bits) {
-            Ok(positions) => positions,
-            Err(EmbedError::MessageTooLong { .. }) => {
-                // Rare long random message: retry with a fresh draw of
-                // all-zero-biased bits that pack densely.
-                let dense = vec![0u8; bits.len()];
-                controller.embed(&mut frame, selected, &dense).expect("dense message fits")
+        let bits = if cfg.silences == 0 {
+            Vec::new()
+        } else {
+            random_bits((cfg.silences - 1) * codec.bits_per_interval(), rng)
+        };
+        let truth = if cfg.silences == 0 {
+            Vec::new()
+        } else {
+            match controller.embed(&mut txws.frame, selected, &bits) {
+                Ok(positions) => positions,
+                Err(EmbedError::MessageTooLong { .. }) => {
+                    // Rare long random message: retry with a fresh draw of
+                    // all-zero-biased bits that pack densely.
+                    let dense = vec![0u8; bits.len()];
+                    controller.embed(&mut txws.frame, selected, &dense).expect("dense message fits")
+                }
+                Err(e) => panic!("{e}"),
             }
-            Err(e) => panic!("{e}"),
-        }
-    };
+        };
 
-    let rx_samples = link.transmit(&frame.to_time_samples());
-    let receiver = Receiver::new();
-    let fe = match receiver.front_end(&rx_samples) {
-        Ok(fe) => fe,
-        Err(_) => {
+        txws.render();
+        link.transmit_into(&txws.samples, &mut rxws.samples);
+        let receiver = Receiver::new();
+        if receiver.front_end_into(&rxws.samples, &mut rxws.fe).is_err() {
             return PacketOutcome {
                 data_ok: false,
                 control_ok: false,
                 accuracy: DetectionAccuracy::default(),
-            }
+            };
         }
-    };
 
-    let (erasures, accuracy, control_ok) = if cfg.silences == 0 {
-        (None, DetectionAccuracy::default(), true)
-    } else if cfg.genie_detection {
-        (Some(frame.silence_mask.clone()), DetectionAccuracy::default(), true)
-    } else {
-        let detection = detector.detect(&fe, selected);
-        let total = fe.raw_symbols.len() * selected.len();
-        let acc = DetectionAccuracy::evaluate(&detection.positions, &truth, total);
-        let control_ok = detection.control_bits(&codec).as_deref() == Some(&bits[..]);
-        (Some(detection.erasures), acc, control_ok)
-    };
+        let (erasures, accuracy, control_ok) = if cfg.silences == 0 {
+            (None, DetectionAccuracy::default(), true)
+        } else if cfg.genie_detection {
+            (Some(txws.frame.silence_mask.as_slice()), DetectionAccuracy::default(), true)
+        } else {
+            detector.detect_into(&rxws.fe, selected, thresholds, det);
+            let total = rxws.fe.raw_symbols.len() * selected.len();
+            let acc = DetectionAccuracy::evaluate(&det.positions, &truth, total);
+            let control_ok = det.control_bits(&codec).as_deref() == Some(&bits[..]);
+            (Some(det.erasures.as_slice()), acc, control_ok)
+        };
 
-    let rx = if cfg.use_erasures {
-        receiver.decode(&fe, erasures.as_deref())
-    } else {
-        receiver.decode(&fe, None)
-    };
+        let erasures = if cfg.use_erasures { erasures } else { None };
+        receiver.decode_into(&rxws.fe, erasures, &mut rxws.scratch, &mut rxws.out);
 
-    PacketOutcome { data_ok: rx.crc_ok(), control_ok, accuracy }
+        PacketOutcome { data_ok: rxws.out.crc_ok, control_ok, accuracy }
+    })
 }
 
 /// Measures the packet reception rate at a fixed silence count.

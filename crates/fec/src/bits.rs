@@ -13,12 +13,19 @@
 /// ```
 pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
     let mut bits = Vec::with_capacity(bytes.len() * 8);
+    append_bits_from_bytes(bytes, &mut bits);
+    bits
+}
+
+/// Appends the bits of `bytes` (LSB of each byte first) to `bits` without
+/// clearing it — the building block for assembling a DATA field in place.
+pub fn append_bits_from_bytes(bytes: &[u8], bits: &mut Vec<u8>) {
+    bits.reserve(bytes.len() * 8);
     for &byte in bytes {
         for i in 0..8 {
             bits.push((byte >> i) & 1);
         }
     }
-    bits
 }
 
 /// Packs bits (LSB-first per byte) back into bytes.
@@ -33,15 +40,26 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
 /// ```
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bits_to_bytes_into(bits, &mut bytes);
+    bytes
+}
+
+/// [`bits_to_bytes`] writing into a caller-owned buffer, which is fully
+/// overwritten.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a multiple of 8 or any value is not 0/1.
+pub fn bits_to_bytes_into(bits: &[u8], bytes: &mut Vec<u8>) {
     assert!(bits.len().is_multiple_of(8), "bit count {} is not a whole number of octets", bits.len());
-    bits.chunks_exact(8)
-        .map(|chunk| {
-            chunk.iter().enumerate().fold(0u8, |byte, (i, &b)| {
-                assert!(b <= 1, "bit values must be 0 or 1, got {b}");
-                byte | (b << i)
-            })
+    bytes.clear();
+    bytes.extend(bits.chunks_exact(8).map(|chunk| {
+        chunk.iter().enumerate().fold(0u8, |byte, (i, &b)| {
+            assert!(b <= 1, "bit values must be 0 or 1, got {b}");
+            byte | (b << i)
         })
-        .collect()
+    }));
 }
 
 /// Writes the low `width` bits of `value` into a bit vector, LSB first.

@@ -63,16 +63,40 @@ impl ConvEncoder {
     ///
     /// Panics if any input value is not 0 or 1.
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(data.len() * 2);
+        let mut out = Vec::new();
+        self.encode_into(data, &mut out);
+        out
+    }
+
+    /// [`ConvEncoder::encode`] writing into a caller-owned buffer, which
+    /// is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input value is not 0 or 1.
+    pub fn encode_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(data.len() * 2, 0);
+        self.encode_to_slice(data, out);
+    }
+
+    /// [`ConvEncoder::encode`] writing into a caller-owned slice — the
+    /// allocation-free core for fixed-size fields like SIGNAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 2 × data.len()` or any input bit is not
+    /// 0 or 1.
+    pub fn encode_to_slice(&self, data: &[u8], out: &mut [u8]) {
+        assert_eq!(out.len(), data.len() * 2, "rate-1/2 output is twice the input length");
         let mut state = 0u8;
-        for &bit in data {
+        for (i, &bit) in data.iter().enumerate() {
             assert!(bit <= 1, "input bits must be 0 or 1, got {bit}");
             let (a, b) = branch_output(state, bit);
-            out.push(a);
-            out.push(b);
+            out[2 * i] = a;
+            out[2 * i + 1] = b;
             state = next_state(state, bit);
         }
-        out
     }
 
     /// Encodes and reports the final encoder state (useful in tests for

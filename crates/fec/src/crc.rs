@@ -59,9 +59,17 @@ impl Crc32 {
 
     /// Appends the 4-byte FCS (little-endian, as transmitted) to a payload.
     pub fn append(&self, payload: &[u8]) -> Vec<u8> {
-        let mut framed = payload.to_vec();
-        framed.extend_from_slice(&self.checksum(payload).to_le_bytes());
+        let mut framed = Vec::new();
+        self.append_into(payload, &mut framed);
         framed
+    }
+
+    /// [`Crc32::append`] writing into a caller-owned buffer, which is
+    /// fully overwritten with `payload ‖ FCS`.
+    pub fn append_into(&self, payload: &[u8], framed: &mut Vec<u8>) {
+        framed.clear();
+        framed.extend_from_slice(payload);
+        framed.extend_from_slice(&self.checksum(payload).to_le_bytes());
     }
 
     /// Checks a frame whose last 4 bytes are the FCS; returns the payload on

@@ -71,6 +71,16 @@ impl Interleaver {
         self.apply(bits, &self.perm)
     }
 
+    /// [`Interleaver::interleave`] writing into a caller-owned buffer,
+    /// which is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `Ncbps`.
+    pub fn interleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        self.apply_into(bits, &self.perm, out);
+    }
+
     /// De-interleaves hard bits.
     ///
     /// # Panics
@@ -80,6 +90,16 @@ impl Interleaver {
         self.apply(bits, &self.inv)
     }
 
+    /// [`Interleaver::deinterleave`] writing into a caller-owned buffer,
+    /// which is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `Ncbps`.
+    pub fn deinterleave_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        self.apply_into(bits, &self.inv, out);
+    }
+
     /// De-interleaves soft values (LLRs); zero-LLR erasures travel with
     /// their positions.
     ///
@@ -87,37 +107,84 @@ impl Interleaver {
     ///
     /// Panics if `llrs.len()` is not a multiple of `Ncbps`.
     pub fn deinterleave_soft(&self, llrs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.deinterleave_soft_into(llrs, &mut out);
+        out
+    }
+
+    /// [`Interleaver::deinterleave_soft`] writing into a caller-owned
+    /// buffer, which is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a multiple of `Ncbps`.
+    pub fn deinterleave_soft_into(&self, llrs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(llrs.len(), 0.0);
+        self.deinterleave_soft_to_slice(llrs, out);
+    }
+
+    /// [`Interleaver::deinterleave_soft`] writing into a caller-owned
+    /// slice — the allocation-free core for fixed-size fields like
+    /// SIGNAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a multiple of `Ncbps` or `out` has
+    /// a different length.
+    pub fn deinterleave_soft_to_slice(&self, llrs: &[f64], out: &mut [f64]) {
         assert!(
             llrs.len().is_multiple_of(self.ncbps),
             "length {} is not a multiple of Ncbps {}",
             llrs.len(),
             self.ncbps
         );
-        let mut out = vec![0.0; llrs.len()];
+        assert_eq!(out.len(), llrs.len(), "output slice must match the input length");
         for (block_idx, block) in llrs.chunks_exact(self.ncbps).enumerate() {
             let base = block_idx * self.ncbps;
             for (j, &v) in block.iter().enumerate() {
                 out[base + self.inv[j]] = v;
             }
         }
-        out
+    }
+
+    /// [`Interleaver::interleave`] writing into a caller-owned slice —
+    /// the allocation-free core for fixed-size fields like SIGNAL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `Ncbps` or `out` has
+    /// a different length.
+    pub fn interleave_to_slice(&self, bits: &[u8], out: &mut [u8]) {
+        self.apply_to_slice(bits, &self.perm, out);
     }
 
     fn apply(&self, bits: &[u8], table: &[usize]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.apply_into(bits, table, &mut out);
+        out
+    }
+
+    fn apply_into(&self, bits: &[u8], table: &[usize], out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(bits.len(), 0);
+        self.apply_to_slice(bits, table, out);
+    }
+
+    fn apply_to_slice(&self, bits: &[u8], table: &[usize], out: &mut [u8]) {
         assert!(
             bits.len().is_multiple_of(self.ncbps),
             "length {} is not a multiple of Ncbps {}",
             bits.len(),
             self.ncbps
         );
-        let mut out = vec![0u8; bits.len()];
+        assert_eq!(out.len(), bits.len(), "output slice must match the input length");
         for (block_idx, block) in bits.chunks_exact(self.ncbps).enumerate() {
             let base = block_idx * self.ncbps;
             for (k, &b) in block.iter().enumerate() {
                 out[base + table[k]] = b;
             }
         }
-        out
     }
 }
 

@@ -42,6 +42,7 @@ pub mod interleaver;
 pub mod puncture;
 pub mod scrambler;
 pub mod viterbi;
+pub mod workspace;
 
 pub use conv::ConvEncoder;
 pub use crc::Crc32;
@@ -49,3 +50,4 @@ pub use interleaver::Interleaver;
 pub use puncture::CodeRate;
 pub use scrambler::Scrambler;
 pub use viterbi::ViterbiDecoder;
+pub use workspace::{FecWorkspace, ViterbiWorkspace};

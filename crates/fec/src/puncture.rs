@@ -60,6 +60,18 @@ impl CodeRate {
     /// Panics if `coded.len()` is not a multiple of the puncturing period
     /// (802.11a symbol padding guarantees it always is).
     pub fn puncture(self, coded: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.puncture_into(coded, &mut out);
+        out
+    }
+
+    /// [`CodeRate::puncture`] writing into a caller-owned buffer, which is
+    /// fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coded.len()` is not a multiple of the puncturing period.
+    pub fn puncture_into(self, coded: &[u8], out: &mut Vec<u8>) {
         let mask = self.keep_mask();
         assert!(
             coded.len().is_multiple_of(mask.len()),
@@ -67,11 +79,13 @@ impl CodeRate {
             coded.len(),
             mask.len()
         );
-        coded
-            .iter()
-            .zip(mask.iter().cycle())
-            .filter_map(|(&bit, &keep)| keep.then_some(bit))
-            .collect()
+        out.clear();
+        out.extend(
+            coded
+                .iter()
+                .zip(mask.iter().cycle())
+                .filter_map(|(&bit, &keep)| keep.then_some(bit)),
+        );
     }
 
     /// De-punctures received soft bits back to mother-code length by
@@ -82,6 +96,19 @@ impl CodeRate {
     /// Panics if `llrs.len()` is not a multiple of the per-period survivor
     /// count.
     pub fn depuncture(self, llrs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.depuncture_into(llrs, &mut out);
+        out
+    }
+
+    /// [`CodeRate::depuncture`] writing into a caller-owned buffer, which
+    /// is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is not a multiple of the per-period survivor
+    /// count.
+    pub fn depuncture_into(self, llrs: &[f64], out: &mut Vec<f64>) {
         let mask = self.keep_mask();
         let survivors = mask.iter().filter(|&&k| k).count();
         assert!(
@@ -90,7 +117,8 @@ impl CodeRate {
             llrs.len()
         );
         let periods = llrs.len() / survivors;
-        let mut out = Vec::with_capacity(periods * mask.len());
+        out.clear();
+        out.reserve(periods * mask.len());
         let mut it = llrs.iter();
         for _ in 0..periods {
             for &keep in mask {
@@ -101,7 +129,6 @@ impl CodeRate {
                 }
             }
         }
-        out
     }
 
     /// Number of transmitted bits produced from `n_coded` mother-code bits.

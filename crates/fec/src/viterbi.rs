@@ -23,6 +23,7 @@
 //! the classical error-only decoder used by the `ablation_evd` experiment.
 
 use crate::conv::{branch_output, next_state, STATES};
+use crate::workspace::ViterbiWorkspace;
 use std::sync::OnceLock;
 
 /// A soft-decision Viterbi decoder for the 133/171 rate-1/2 code.
@@ -94,9 +95,61 @@ impl ViterbiDecoder {
     ///
     /// Panics if `llrs.len()` is odd or zero.
     pub fn decode(&self, llrs: &[f64], terminated: bool) -> Vec<u8> {
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_into(llrs, terminated, &mut ws, &mut out);
+        out
+    }
+
+    /// [`ViterbiDecoder::decode`] writing into caller-owned buffers.
+    ///
+    /// `ws` holds the traceback scratch and `out` receives the decoded
+    /// bits; both are fully overwritten, so a dirty workspace from a
+    /// previous frame produces bit-identical output to a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is odd or zero.
+    pub fn decode_into(
+        &self,
+        llrs: &[f64],
+        terminated: bool,
+        ws: &mut ViterbiWorkspace,
+        out: &mut Vec<u8>,
+    ) {
         assert!(!llrs.is_empty(), "cannot decode an empty frame");
         assert!(llrs.len().is_multiple_of(2), "soft input length {} is not a whole number of (A,B) pairs", llrs.len());
         let steps = llrs.len() / 2;
+        ws.prev_lsbs.clear();
+        ws.prev_lsbs.resize(steps, 0);
+        out.clear();
+        out.resize(steps, 0);
+        self.decode_to_slices(llrs, terminated, &mut ws.prev_lsbs, out);
+    }
+
+    /// [`ViterbiDecoder::decode`] writing into caller-owned slices — the
+    /// allocation-free core for fixed-size fields like SIGNAL.
+    ///
+    /// `prev_lsbs` is the traceback scratch and `out` receives the
+    /// decoded bits; both must hold exactly `llrs.len() / 2` elements
+    /// and are fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs.len()` is odd or zero, or either slice has the
+    /// wrong length.
+    pub fn decode_to_slices(
+        &self,
+        llrs: &[f64],
+        terminated: bool,
+        prev_lsbs: &mut [u64],
+        out: &mut [u8],
+    ) {
+        assert!(!llrs.is_empty(), "cannot decode an empty frame");
+        assert!(llrs.len().is_multiple_of(2), "soft input length {} is not a whole number of (A,B) pairs", llrs.len());
+        let steps = llrs.len() / 2;
+        assert_eq!(prev_lsbs.len(), steps, "traceback scratch must hold one word per step");
+        assert_eq!(out.len(), steps, "output must hold one bit per step");
         let (sa, sb) = butterfly_signs();
 
         const NEG: f64 = f64::NEG_INFINITY;
@@ -107,8 +160,6 @@ impl ViterbiDecoder {
         // src = ((dest & 0x1F) << 1) | prev_lsb; we store the winning
         // prev_lsb per destination state in a per-step bitset. The winning
         // *input* needs no storage at all — it is `dest >> 5`.
-        let mut prev_lsbs: Vec<u64> = Vec::with_capacity(steps);
-
         for t in 0..steps {
             let la = llrs[2 * t];
             let lb = llrs[2 * t + 1];
@@ -133,7 +184,7 @@ impl ViterbiDecoder {
                 next[j + 32] = if odd_wins_hi { b1 } else { b0 };
                 lsb_bits |= (odd_wins_hi as u64) << (j + 32);
             }
-            prev_lsbs.push(lsb_bits);
+            prev_lsbs[t] = lsb_bits;
             std::mem::swap(&mut metric, &mut next);
         }
 
@@ -151,13 +202,11 @@ impl ViterbiDecoder {
 
         // Trace back. The input bit at step t is the top bit of the state
         // the trellis landed in.
-        let mut decoded = vec![0u8; steps];
         for t in (0..steps).rev() {
-            decoded[t] = (state >> 5) as u8;
+            out[t] = (state >> 5) as u8;
             let prev_lsb = ((prev_lsbs[t] >> state) & 1) as usize;
             state = ((state & 0x1F) << 1) | prev_lsb;
         }
-        decoded
     }
 
     /// Decodes hard bits (0/1) by mapping them to ±1 LLRs — the classical
@@ -300,6 +349,23 @@ mod tests {
         let llrs = vec![0.0; 120];
         let decoded = ViterbiDecoder::new().decode(&llrs, true);
         assert_eq!(decoded.len(), 60);
+    }
+
+    #[test]
+    fn decode_into_with_dirty_workspace_matches_owned() {
+        let dec = ViterbiDecoder::new();
+        let mut ws = ViterbiWorkspace::new();
+        let mut out = Vec::new();
+        // Dirty the workspace with a longer frame first, then decode a
+        // shorter one: leftovers must not leak into the result.
+        for (len, seed) in [(300, 21u64), (80, 4), (200, 17)] {
+            let data = frame(len, seed);
+            let coded = ConvEncoder::new().encode(&data);
+            let llrs = ideal_llrs(&coded);
+            dec.decode_into(&llrs, true, &mut ws, &mut out);
+            assert_eq!(out, dec.decode(&llrs, true));
+            assert_eq!(out, data);
+        }
     }
 
     #[test]

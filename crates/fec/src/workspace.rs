@@ -1,0 +1,56 @@
+//! Reusable scratch buffers for the FEC chain.
+//!
+//! Every transform in this crate allocates its output when called through
+//! the owned API (`encode`, `decode`, `interleave`, …). The `*_into`
+//! variants introduced alongside them write into caller-owned buffers
+//! instead, so a Monte-Carlo loop that decodes millions of frames touches
+//! the allocator only while the buffers grow to their steady-state size.
+//!
+//! The workspaces here are plain bags of `Vec`s: no pooling, no
+//! interior mutability. Ownership stays with the caller (one workspace per
+//! session or per thread), which keeps the reuse story trivially
+//! data-race-free and — because every `*_into` method fully overwrites the
+//! region it returns — deterministic regardless of what a previous frame
+//! left behind.
+
+/// Scratch for [`crate::ViterbiDecoder::decode_into`]: the per-step
+/// traceback bitsets.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiWorkspace {
+    /// One 64-bit predecessor bitset per trellis step.
+    pub(crate) prev_lsbs: Vec<u64>,
+}
+
+impl ViterbiWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scratch for a full DATA-field encode or decode pass
+/// (deinterleave → depuncture → Viterbi, or encode → puncture).
+///
+/// The fields are public so higher layers (`cos-phy`) can thread
+/// individual buffers through a staged pipeline without borrowing the
+/// whole struct at once.
+#[derive(Debug, Clone, Default)]
+pub struct FecWorkspace {
+    /// Soft bits after de-interleaving.
+    pub deinterleaved: Vec<f64>,
+    /// Soft bits after de-puncturing (mother-code order).
+    pub mother_llrs: Vec<f64>,
+    /// Mother-code hard bits on the encode side.
+    pub mother_bits: Vec<u8>,
+    /// Viterbi output (scrambled data bits).
+    pub decoded: Vec<u8>,
+    /// Traceback scratch for the Viterbi decoder.
+    pub viterbi: ViterbiWorkspace,
+}
+
+impl FecWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

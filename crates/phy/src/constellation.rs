@@ -136,22 +136,36 @@ impl Modulation {
             .collect()
     }
 
-    /// Hard-decides the nearest constellation point, returning its bits.
-    pub fn hard_demap(self, y: Complex) -> Vec<u8> {
+    /// Hard-decides the nearest constellation point, appending its bits
+    /// to `out` in transmit order.
+    pub fn hard_demap_into(self, y: Complex, out: &mut Vec<u8>) {
         let ba = self.bits_per_axis();
-        let mut bits = vec![0u8; self.bits_per_symbol()];
+        let start = out.len();
+        out.resize(start + self.bits_per_symbol(), 0);
+        let bits = &mut out[start..];
         self.axis_hard(y.re, &mut bits[..ba]);
         if self != Modulation::Bpsk {
-            let (_, q_bits) = bits.split_at_mut(ba);
-            self.axis_hard(y.im, q_bits);
+            self.axis_hard(y.im, &mut bits[ba..]);
         }
+    }
+
+    /// Hard-decides the nearest constellation point, returning its bits.
+    pub fn hard_demap(self, y: Complex) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(self.bits_per_symbol());
+        self.hard_demap_into(y, &mut bits);
         bits
     }
 
     /// Hard-decides the nearest constellation point, returning the point.
     pub fn nearest_point(self, y: Complex) -> Complex {
-        let bits = self.hard_demap(y);
-        self.map(&bits)
+        let mut bits = [0u8; 6];
+        let bits = &mut bits[..self.bits_per_symbol()];
+        let ba = self.bits_per_axis();
+        self.axis_hard(y.re, &mut bits[..ba]);
+        if self != Modulation::Bpsk {
+            self.axis_hard(y.im, &mut bits[ba..]);
+        }
+        self.map(bits)
     }
 
     fn axis_hard(self, value: f64, out: &mut [u8]) {
@@ -180,19 +194,33 @@ impl Modulation {
     /// [`cos_fec::viterbi`]). LLRs are appended to `out` in transmit order
     /// `b0..b_{n-1}`.
     pub fn soft_demap(self, y_eq: Complex, weight: f64, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + self.bits_per_symbol(), 0.0);
+        self.soft_demap_to_slice(y_eq, weight, &mut out[start..]);
+    }
+
+    /// [`Modulation::soft_demap`] writing into a caller-owned slice of
+    /// exactly `bits_per_symbol()` LLRs — the allocation-free core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.bits_per_symbol()`.
+    pub fn soft_demap_to_slice(self, y_eq: Complex, weight: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.bits_per_symbol(), "one LLR slot per coded bit");
         let ba = self.bits_per_axis();
-        self.axis_soft(y_eq.re, weight, ba, out);
+        self.axis_soft(y_eq.re, weight, &mut out[..ba]);
         if self != Modulation::Bpsk {
-            self.axis_soft(y_eq.im, weight, ba, out);
+            self.axis_soft(y_eq.im, weight, &mut out[ba..]);
         }
     }
 
     /// Per-axis max-log bit metrics: for each bit position the difference
     /// of squared distances to the nearest level with that bit 1 vs 0.
-    fn axis_soft(self, value: f64, weight: f64, bits: usize, out: &mut Vec<f64>) {
+    fn axis_soft(self, value: f64, weight: f64, out: &mut [f64]) {
         let levels = self.axis_levels();
         let k = self.kmod();
-        for i in 0..bits {
+        let bits = out.len();
+        for (i, slot) in out.iter_mut().enumerate() {
             let shift = bits - 1 - i;
             let mut d0 = f64::INFINITY;
             let mut d1 = f64::INFINITY;
@@ -205,7 +233,7 @@ impl Modulation {
                     d1 = d1.min(d2);
                 }
             }
-            out.push(weight * (d1 - d0));
+            *slot = weight * (d1 - d0);
         }
     }
 }

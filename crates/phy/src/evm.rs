@@ -8,6 +8,7 @@
 //! quantifies temporal selectivity (Fig. 7).
 
 use crate::constellation::Modulation;
+use crate::pipeline::TxWorkspace;
 use crate::rates::DataRate;
 use crate::subcarriers::NUM_DATA;
 use crate::tx::Transmitter;
@@ -91,6 +92,20 @@ pub fn reconstruct_points(
     seed: u8,
 ) -> Vec<[Complex; NUM_DATA]> {
     Transmitter::new().build_frame(payload, rate, seed).mapped_points
+}
+
+/// [`reconstruct_points`] building the reference frame inside a
+/// caller-owned [`TxWorkspace`] and returning a borrow of its mapped
+/// points — the per-frame reconstruction of the feedback loop without the
+/// per-frame allocation.
+pub fn reconstruct_points_into<'a>(
+    payload: &[u8],
+    rate: DataRate,
+    seed: u8,
+    ws: &'a mut TxWorkspace,
+) -> &'a [[Complex; NUM_DATA]] {
+    Transmitter::new().build_frame_into(payload, rate, seed, ws);
+    &ws.frame.mapped_points
 }
 
 /// Counts symbol errors: positions where the hard decision on the

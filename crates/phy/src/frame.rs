@@ -7,8 +7,9 @@
 
 use crate::error::PhyError;
 use crate::rates::DataRate;
-use cos_fec::bits::{bits_to_bytes, bytes_to_bits};
-use cos_fec::{ConvEncoder, Crc32, Interleaver, Scrambler, ViterbiDecoder};
+use cos_fec::bits::{append_bits_from_bytes, bits_to_bytes_into};
+use cos_fec::{ConvEncoder, Crc32, FecWorkspace, Interleaver, Scrambler, ViterbiDecoder};
+use std::sync::OnceLock;
 
 /// Bits in the SERVICE field (7 scrambler-init zeros + 9 reserved zeros).
 pub const SERVICE_BITS: usize = 16;
@@ -35,43 +36,99 @@ pub struct DataField {
     pub n_symbols: usize,
 }
 
+impl DataField {
+    /// An empty placeholder for workspace initialisation; every field is
+    /// fully overwritten by [`build_data_field_into`].
+    pub fn empty(rate: DataRate) -> Self {
+        DataField {
+            rate,
+            raw_bits: Vec::new(),
+            scrambled: Vec::new(),
+            coded: Vec::new(),
+            interleaved: Vec::new(),
+            n_symbols: 0,
+        }
+    }
+}
+
+/// The process-wide interleaver for a rate's `(Ncbps, Nbpsc)` pair. The
+/// four 802.11a configurations are built once and shared, so neither the
+/// owned nor the workspace path pays the permutation-table allocation per
+/// frame.
+pub fn interleaver_for(rate: DataRate) -> &'static Interleaver {
+    static TABLES: OnceLock<[Interleaver; 4]> = OnceLock::new();
+    TABLES
+        .get_or_init(|| {
+            [
+                Interleaver::new(48, 1),
+                Interleaver::new(96, 2),
+                Interleaver::new(192, 4),
+                Interleaver::new(288, 6),
+            ]
+        })
+        .iter()
+        .find(|il| il.ncbps() == rate.ncbps())
+        .expect("every 802.11a rate maps to a cached interleaver")
+}
+
+/// The process-wide CRC-32 engine (the 256-entry table is rebuilt nowhere
+/// in the per-frame path).
+fn crc32() -> &'static Crc32 {
+    static CRC: OnceLock<Crc32> = OnceLock::new();
+    CRC.get_or_init(Crc32::new)
+}
+
 /// Builds the DATA field for a PSDU.
 ///
 /// # Panics
 ///
 /// Panics if the scrambler seed is invalid (zero or wider than 7 bits).
 pub fn build_data_field(psdu: &[u8], rate: DataRate, scrambler_seed: u8) -> DataField {
+    let mut df = DataField::empty(rate);
+    build_data_field_into(psdu, rate, scrambler_seed, &mut df, &mut FecWorkspace::new());
+    df
+}
+
+/// [`build_data_field`] writing into a caller-owned [`DataField`] and
+/// encode scratch, both of which are fully overwritten.
+///
+/// # Panics
+///
+/// Panics if the scrambler seed is invalid (zero or wider than 7 bits).
+pub fn build_data_field_into(
+    psdu: &[u8],
+    rate: DataRate,
+    scrambler_seed: u8,
+    df: &mut DataField,
+    fec: &mut FecWorkspace,
+) {
     let n_symbols = rate.data_symbol_count(psdu.len());
     let total_bits = n_symbols * rate.ndbps();
+    df.rate = rate;
+    df.n_symbols = n_symbols;
 
     // SERVICE (all zeros) + PSDU + tail + pad.
-    let mut raw_bits = vec![0u8; SERVICE_BITS];
-    raw_bits.extend(bytes_to_bits(psdu));
-    let tail_start = raw_bits.len();
-    raw_bits.extend_from_slice(&[0; TAIL_BITS]);
-    raw_bits.resize(total_bits, 0);
+    df.raw_bits.clear();
+    df.raw_bits.resize(SERVICE_BITS, 0);
+    append_bits_from_bytes(psdu, &mut df.raw_bits);
+    let tail_start = df.raw_bits.len();
+    df.raw_bits.extend_from_slice(&[0; TAIL_BITS]);
+    df.raw_bits.resize(total_bits, 0);
 
     // Scramble everything, then restore the tail bits to zero so the
     // encoder terminates.
-    let mut scrambled = Scrambler::new(scrambler_seed).scramble(&raw_bits);
-    for b in &mut scrambled[tail_start..tail_start + TAIL_BITS] {
+    df.scrambled.clear();
+    df.scrambled.extend_from_slice(&df.raw_bits);
+    Scrambler::new(scrambler_seed).scramble_in_place(&mut df.scrambled);
+    for b in &mut df.scrambled[tail_start..tail_start + TAIL_BITS] {
         *b = 0;
     }
 
-    let mother = ConvEncoder::new().encode(&scrambled);
-    let coded = rate.code_rate().puncture(&mother);
-    debug_assert_eq!(coded.len(), n_symbols * rate.ncbps());
+    ConvEncoder::new().encode_into(&df.scrambled, &mut fec.mother_bits);
+    rate.code_rate().puncture_into(&fec.mother_bits, &mut df.coded);
+    debug_assert_eq!(df.coded.len(), n_symbols * rate.ncbps());
 
-    let interleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).interleave(&coded);
-
-    DataField {
-        rate,
-        raw_bits,
-        scrambled,
-        coded,
-        interleaved,
-        n_symbols,
-    }
+    interleaver_for(rate).interleave_into(&df.coded, &mut df.interleaved);
 }
 
 /// The output of [`decode_data_field`].
@@ -103,15 +160,36 @@ pub fn decode_data_field(
     rate: DataRate,
     psdu_len: usize,
 ) -> Result<DecodedData, PhyError> {
+    let mut bits = Vec::new();
+    let seed = decode_data_field_into(llrs, rate, psdu_len, &mut FecWorkspace::new(), &mut bits)?;
+    Ok(DecodedData { bits, scrambler_seed: seed })
+}
+
+/// [`decode_data_field`] writing the descrambled bits into a caller-owned
+/// buffer (fully overwritten on success) and running the FEC chain in
+/// caller-owned scratch. Returns the recovered scrambler seed.
+///
+/// # Errors
+///
+/// The same typed errors as [`decode_data_field`]; on error `bits` is left
+/// empty.
+pub fn decode_data_field_into(
+    llrs: &[f64],
+    rate: DataRate,
+    psdu_len: usize,
+    fec: &mut FecWorkspace,
+    bits: &mut Vec<u8>,
+) -> Result<u8, PhyError> {
+    bits.clear();
     // A truncated stream may end mid-symbol; only whole OFDM symbols can
     // be deinterleaved, so drop the ragged tail instead of asserting.
     let whole = llrs.len() - llrs.len() % rate.ncbps();
-    let deinterleaved = Interleaver::new(rate.ncbps(), rate.nbpsc()).deinterleave_soft(&llrs[..whole]);
-    let mother = rate.code_rate().depuncture(&deinterleaved);
+    interleaver_for(rate).deinterleave_soft_into(&llrs[..whole], &mut fec.deinterleaved);
+    rate.code_rate().depuncture_into(&fec.deinterleaved, &mut fec.mother_llrs);
     let data_bits_to_tail = SERVICE_BITS + psdu_len * 8 + TAIL_BITS;
     // The Viterbi decoder consumes coded-bit pairs; an odd trailing bit
     // from a truncated stream is dropped rather than asserted on.
-    let coded_to_tail = ((data_bits_to_tail * 2).min(mother.len())) & !1;
+    let coded_to_tail = ((data_bits_to_tail * 2).min(fec.mother_llrs.len())) & !1;
     // Recovering the scrambler seed needs at least the 7 SERVICE prefix
     // bits, i.e. 14 mother-code bits.
     const SEED_BITS: usize = 7;
@@ -121,12 +199,16 @@ pub fn decode_data_field(
             need: SEED_BITS,
         });
     }
-    let scrambled = ViterbiDecoder::new().decode(&mother[..coded_to_tail], true);
-    let seed = Scrambler::recover_seed(&scrambled[..SEED_BITS]).ok_or(PhyError::ScramblerSeed)?;
-    Ok(DecodedData {
-        bits: Scrambler::new(seed).scramble(&scrambled),
-        scrambler_seed: seed,
-    })
+    ViterbiDecoder::new().decode_into(
+        &fec.mother_llrs[..coded_to_tail],
+        true,
+        &mut fec.viterbi,
+        &mut fec.decoded,
+    );
+    let seed = Scrambler::recover_seed(&fec.decoded[..SEED_BITS]).ok_or(PhyError::ScramblerSeed)?;
+    bits.extend_from_slice(&fec.decoded);
+    Scrambler::new(seed).scramble_in_place(bits);
+    Ok(seed)
 }
 
 /// Extracts and CRC-verifies the payload from descrambled DATA-field bits.
@@ -134,17 +216,46 @@ pub fn decode_data_field(
 /// `psdu_len` comes from the SIGNAL LENGTH field. Returns the payload
 /// (PSDU minus the 4 FCS bytes) only if the CRC passes.
 pub fn extract_payload(data_bits: &[u8], psdu_len: usize) -> Option<Vec<u8>> {
+    let mut psdu = Vec::new();
+    let mut payload = Vec::new();
+    extract_payload_into(data_bits, psdu_len, &mut psdu, &mut payload).then_some(payload)
+}
+
+/// [`extract_payload`] writing into caller-owned buffers: `psdu_scratch`
+/// receives the re-packed PSDU bytes and `payload` the CRC-verified
+/// payload. Returns `true` on CRC pass; `payload` is left empty otherwise.
+pub fn extract_payload_into(
+    data_bits: &[u8],
+    psdu_len: usize,
+    psdu_scratch: &mut Vec<u8>,
+    payload: &mut Vec<u8>,
+) -> bool {
+    payload.clear();
     let need = SERVICE_BITS + psdu_len * 8;
     if data_bits.len() < need {
-        return None;
+        return false;
     }
-    let psdu = bits_to_bytes(&data_bits[SERVICE_BITS..need]);
-    Crc32::new().verify(&psdu).map(<[u8]>::to_vec)
+    bits_to_bytes_into(&data_bits[SERVICE_BITS..need], psdu_scratch);
+    match crc32().verify(psdu_scratch) {
+        Some(body) => {
+            payload.extend_from_slice(body);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Wraps a payload into a PSDU by appending the CRC-32 FCS.
 pub fn payload_to_psdu(payload: &[u8]) -> Vec<u8> {
-    Crc32::new().append(payload)
+    let mut psdu = Vec::new();
+    payload_to_psdu_into(payload, &mut psdu);
+    psdu
+}
+
+/// [`payload_to_psdu`] writing into a caller-owned buffer, which is fully
+/// overwritten.
+pub fn payload_to_psdu_into(payload: &[u8], psdu: &mut Vec<u8>) {
+    crc32().append_into(payload, psdu);
 }
 
 #[cfg(test)]

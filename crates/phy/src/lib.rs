@@ -18,6 +18,9 @@
 //!   the CoS power controller can zero symbols (silence insertion), and the
 //!   receive chain accepts an erasure mask so energy-detected silences
 //!   become zero-LLR bits (erasure Viterbi decoding),
+//! * [`pipeline`] — the zero-copy staged pipeline: caller-owned
+//!   [`TxWorkspace`]/[`RxWorkspace`] scratch threaded through `*_into`
+//!   variants of every stage, with the owned APIs as thin wrappers,
 //! * [`evm`] — per-subcarrier EVM (paper Eq. 1) and the normalised EVM
 //!   change `∇EVM` (paper Eq. 2),
 //! * [`sync`] — packet detection, sample-accurate timing and CFO
@@ -47,6 +50,7 @@ pub mod error;
 pub mod evm;
 pub mod frame;
 pub mod ofdm;
+pub mod pipeline;
 pub mod preamble;
 pub mod rates;
 pub mod rx;
@@ -56,4 +60,5 @@ pub mod sync;
 pub mod tx;
 
 pub use error::PhyError;
+pub use pipeline::{PhyWorkspace, PipelineStage, RxPipeline, RxWorkspace, TxPipeline, TxWorkspace};
 pub use rates::DataRate;

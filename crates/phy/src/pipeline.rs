@@ -1,0 +1,313 @@
+//! The zero-copy staged pipeline: caller-owned workspaces threaded
+//! through the transmit and receive chains.
+//!
+//! Every stage of the PHY has two entry points: an owned API that
+//! allocates its result (`build_frame`, `receive`, …) and a `*_into`
+//! variant that writes into buffers borrowed from a workspace defined
+//! here. The owned APIs are thin wrappers over the `*_into`
+//! implementations with fresh scratch, so there is exactly one
+//! implementation of every transform and the two paths are bit-identical
+//! by construction (see `docs/ARCHITECTURE.md` for the ownership and
+//! determinism rules).
+//!
+//! A workspace belongs to exactly one session or one worker thread; the
+//! structs here are plain bags of buffers with no interior mutability.
+
+use crate::ofdm::FreqSymbol;
+use crate::rates::DataRate;
+use crate::rx::{FrontEnd, Receiver, RxConfig, RxDecodeOut, RxFrame, RxScratch};
+use crate::tx::{Transmitter, TxFrame};
+use crate::error::PhyError;
+use cos_dsp::Complex;
+use cos_fec::FecWorkspace;
+
+/// Transmit-side workspace: the frame under construction and its rendered
+/// waveform, plus the PSDU/FEC scratch behind them.
+#[derive(Debug, Clone)]
+pub struct TxWorkspace {
+    /// The frame most recently built by [`Transmitter::build_frame_into`].
+    pub frame: TxFrame,
+    /// The waveform most recently rendered by [`TxWorkspace::render`].
+    pub samples: Vec<Complex>,
+    /// PSDU assembly scratch (payload ‖ FCS).
+    pub psdu: Vec<u8>,
+    /// Encode-side FEC scratch.
+    pub fec: FecWorkspace,
+}
+
+impl Default for TxWorkspace {
+    fn default() -> Self {
+        TxWorkspace {
+            frame: TxFrame::empty(),
+            samples: Vec::new(),
+            psdu: Vec::new(),
+            fec: FecWorkspace::new(),
+        }
+    }
+}
+
+impl TxWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        TxWorkspace::default()
+    }
+
+    /// Renders `self.frame` (including any silences inserted since it was
+    /// built) into `self.samples`, fully overwriting them.
+    pub fn render(&mut self) -> &[Complex] {
+        let TxWorkspace { frame, samples, .. } = self;
+        frame.to_time_samples_into(samples);
+        samples
+    }
+}
+
+/// Receive-side workspace: a landing zone for channel output, the
+/// front-end measurements, and the decoder's scratch and output.
+#[derive(Debug, Clone)]
+pub struct RxWorkspace {
+    /// Landing zone for the channel's output waveform (filled by e.g.
+    /// `cos_channel::Link::transmit_into`).
+    pub samples: Vec<Complex>,
+    /// Front-end measurements of the last received frame.
+    pub fe: FrontEnd,
+    /// Decoder scratch.
+    pub scratch: RxScratch,
+    /// Decoder output for the last received frame.
+    pub out: RxDecodeOut,
+}
+
+impl Default for RxWorkspace {
+    fn default() -> Self {
+        RxWorkspace {
+            samples: Vec::new(),
+            fe: FrontEnd::empty(),
+            scratch: RxScratch::default(),
+            out: RxDecodeOut::default(),
+        }
+    }
+}
+
+impl RxWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        RxWorkspace::default()
+    }
+
+    /// Materialises the last decode as an owned [`RxFrame`].
+    pub fn to_rx_frame(&self) -> RxFrame {
+        self.out.to_rx_frame(&self.fe)
+    }
+}
+
+/// One session's (or one worker thread's) complete PHY scratch.
+#[derive(Debug, Clone, Default)]
+pub struct PhyWorkspace {
+    /// Transmit-side buffers.
+    pub tx: TxWorkspace,
+    /// Receive-side buffers.
+    pub rx: RxWorkspace,
+}
+
+impl PhyWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        PhyWorkspace::default()
+    }
+}
+
+impl Receiver {
+    /// Front end + decode writing entirely into a caller-owned
+    /// [`RxWorkspace`] (`ws.samples` is left untouched — pass the input
+    /// separately so a link can fill `ws.samples` first and hand it in).
+    ///
+    /// # Errors
+    ///
+    /// Any [`PhyError`] from the front end; `ws` holds unspecified
+    /// partial results on error.
+    pub fn receive_into(
+        &self,
+        samples: &[Complex],
+        config: &RxConfig<'_>,
+        ws: &mut RxWorkspace,
+    ) -> Result<(), PhyError> {
+        let RxWorkspace { fe, scratch, out, .. } = ws;
+        self.front_end_into(samples, fe)?;
+        self.decode_into(fe, config.erasures, scratch, out);
+        Ok(())
+    }
+}
+
+/// A named stage of the zero-copy pipeline. The trait is the seam later
+/// work hangs batching, sharding and per-stage instrumentation off: a
+/// stage owns no buffers, declares its workspace type, and can restore
+/// any workspace to a like-new state.
+pub trait PipelineStage {
+    /// The scratch this stage borrows per invocation.
+    type Workspace;
+
+    /// Stable, human-readable stage name (for instrumentation).
+    fn name(&self) -> &'static str;
+
+    /// Clears a workspace back to its just-constructed state (buffer
+    /// capacity may be retained).
+    fn reset(&self, ws: &mut Self::Workspace);
+}
+
+/// The transmit stage: payload in, frequency-domain frame + waveform out.
+#[derive(Debug, Clone, Default)]
+pub struct TxPipeline {
+    tx: Transmitter,
+}
+
+impl TxPipeline {
+    /// Creates the stage.
+    pub fn new() -> Self {
+        TxPipeline::default()
+    }
+
+    /// The wrapped transmitter.
+    pub fn transmitter(&self) -> &Transmitter {
+        &self.tx
+    }
+
+    /// Builds a frame into `ws.frame` and renders `ws.samples` in one
+    /// step. Insert silences between [`Transmitter::build_frame_into`] and
+    /// [`TxWorkspace::render`] instead when CoS control embedding is
+    /// needed.
+    pub fn build_and_render(
+        &self,
+        payload: &[u8],
+        rate: DataRate,
+        scrambler_seed: u8,
+        ws: &mut TxWorkspace,
+    ) {
+        self.tx.build_frame_into(payload, rate, scrambler_seed, ws);
+        ws.render();
+    }
+}
+
+impl PipelineStage for TxPipeline {
+    type Workspace = TxWorkspace;
+
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+
+    fn reset(&self, ws: &mut Self::Workspace) {
+        ws.frame.data_symbols.clear();
+        ws.frame.mapped_points.clear();
+        ws.frame.silence_mask.clear();
+        ws.frame.signal_symbol = FreqSymbol::empty();
+        ws.samples.clear();
+        ws.psdu.clear();
+    }
+}
+
+/// The receive stage: waveform in, front-end measurements + decoded bits
+/// out.
+#[derive(Debug, Clone, Default)]
+pub struct RxPipeline {
+    rx: Receiver,
+}
+
+impl RxPipeline {
+    /// Creates the stage.
+    pub fn new() -> Self {
+        RxPipeline::default()
+    }
+
+    /// The wrapped receiver.
+    pub fn receiver(&self) -> &Receiver {
+        &self.rx
+    }
+
+    /// Runs front end + decode into `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PhyError`] from the front end.
+    pub fn receive_into(
+        &self,
+        samples: &[Complex],
+        config: &RxConfig<'_>,
+        ws: &mut RxWorkspace,
+    ) -> Result<(), PhyError> {
+        self.rx.receive_into(samples, config, ws)
+    }
+}
+
+impl PipelineStage for RxPipeline {
+    type Workspace = RxWorkspace;
+
+    fn name(&self) -> &'static str {
+        "rx"
+    }
+
+    fn reset(&self, ws: &mut Self::Workspace) {
+        ws.samples.clear();
+        ws.fe.raw_symbols.clear();
+        ws.fe.data_y.clear();
+        ws.fe.equalized.clear();
+        ws.out = RxDecodeOut::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_roundtrip_matches_owned_path() {
+        let payload: Vec<u8> = (0..180).map(|i| (i * 11) as u8).collect();
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        for rate in DataRate::ALL {
+            tx.build_and_render(&payload, rate, 0x2B, &mut ws.tx);
+            let owned_frame = Transmitter::new().build_frame(&payload, rate, 0x2B);
+            assert_eq!(ws.tx.samples, owned_frame.to_time_samples(), "{rate}");
+
+            rx.receive_into(&ws.tx.samples, &RxConfig::ideal(), &mut ws.rx)
+                .expect("clean decode");
+            let owned = Receiver::new()
+                .receive(&ws.tx.samples, &RxConfig::ideal())
+                .expect("clean decode");
+            assert_eq!(ws.rx.out.crc_ok, owned.crc_ok(), "{rate}");
+            assert_eq!(ws.rx.out.payload, payload, "{rate}");
+            assert_eq!(ws.rx.out.data_bits, owned.data_bits, "{rate}");
+            assert_eq!(ws.rx.out.hard_coded_bits, owned.hard_coded_bits, "{rate}");
+        }
+    }
+
+    #[test]
+    fn silence_then_render_flows_through_workspace() {
+        let tx = TxPipeline::new();
+        let mut ws = TxWorkspace::new();
+        tx.transmitter()
+            .build_frame_into(&[0xA5; 120], DataRate::Mbps24, 0x5D, &mut ws);
+        let clean_energy: f64 = ws.render().iter().map(|x| x.norm_sqr()).sum();
+        ws.frame.silence(0, 3);
+        ws.frame.silence(1, 17);
+        let silenced_energy: f64 = ws.render().iter().map(|x| x.norm_sqr()).sum();
+        assert!(silenced_energy < clean_energy);
+        assert_eq!(ws.frame.silence_count(), 2);
+    }
+
+    #[test]
+    fn stage_reset_clears_workspaces() {
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        tx.build_and_render(b"reset me", DataRate::Mbps6, 0x11, &mut ws.tx);
+        rx.receive_into(&ws.tx.samples.clone(), &RxConfig::ideal(), &mut ws.rx)
+            .expect("decodes");
+        assert_eq!(tx.name(), "tx");
+        assert_eq!(rx.name(), "rx");
+        tx.reset(&mut ws.tx);
+        rx.reset(&mut ws.rx);
+        assert!(ws.tx.samples.is_empty());
+        assert!(ws.tx.frame.data_symbols.is_empty());
+        assert!(ws.rx.samples.is_empty());
+        assert!(!ws.rx.out.crc_ok);
+    }
+}

@@ -78,13 +78,22 @@ pub fn stf_freq_symbol() -> FreqSymbol {
 
 /// Generates the full 320-sample preamble waveform.
 pub fn generate() -> Vec<Complex> {
+    let mut samples = Vec::with_capacity(PREAMBLE_LEN);
+    generate_into(&mut samples);
+    samples
+}
+
+/// [`generate`] writing into a caller-owned buffer, which is fully
+/// overwritten.
+pub fn generate_into(samples: &mut Vec<Complex>) {
     let fft = plan(FFT_SIZE);
 
     // Short training field: IFFT of the STF symbol is periodic with period
     // 16; transmit 160 samples of it.
     let mut stf_time = stf_freq_symbol().0;
     fft.inverse(&mut stf_time);
-    let mut samples = Vec::with_capacity(PREAMBLE_LEN);
+    samples.clear();
+    samples.reserve(PREAMBLE_LEN);
     for i in 0..STF_LEN {
         samples.push(stf_time[i % FFT_SIZE]);
     }
@@ -97,7 +106,6 @@ pub fn generate() -> Vec<Complex> {
     samples.extend_from_slice(&ltf_time);
     samples.extend_from_slice(&ltf_time);
     debug_assert_eq!(samples.len(), PREAMBLE_LEN);
-    samples
 }
 
 /// The sample ranges of the two LTF bodies within the preamble.

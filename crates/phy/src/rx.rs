@@ -8,37 +8,39 @@
 //! zero LLR (paper Eq. 7).
 
 use crate::error::PhyError;
-use crate::frame::{decode_data_field, extract_payload};
+use crate::frame::{decode_data_field_into, extract_payload_into};
 use crate::ofdm::{FreqSymbol, OfdmEngine};
 use crate::preamble::{self, ltf_value, PREAMBLE_LEN};
 use crate::rates::DataRate;
 use crate::signal::decode_signal_symbol;
 use crate::sync::{correct_cfo, Acquisition, Synchronizer};
-use crate::subcarriers::{
-    bin_of, data_bins, data_indices, NUM_DATA, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN,
-};
+use crate::subcarriers::{bin_of, data_bins, NUM_DATA, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN};
 use cos_dsp::{linear_to_db, Complex, Prbs127};
+use cos_fec::FecWorkspace;
 
 /// Floor applied to noise-variance estimates so ideal (noise-free)
 /// channels produce finite LLR weights.
 const NOISE_FLOOR_EPS: f64 = 1e-15;
 
 /// Receiver configuration.
-#[derive(Debug, Clone, Default)]
-pub struct RxConfig {
+///
+/// Borrows the erasure mask rather than owning it, so the energy
+/// detector's mask is never cloned per frame on its way into the decoder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RxConfig<'a> {
     /// Erasure mask from the energy detector: `erasures[symbol][logical_sc]`
     /// marks a silence symbol whose bits get zero LLR.
-    pub erasures: Option<Vec<[bool; NUM_DATA]>>,
+    pub erasures: Option<&'a [[bool; NUM_DATA]]>,
 }
 
-impl RxConfig {
+impl<'a> RxConfig<'a> {
     /// No erasures — a plain 802.11a receiver.
     pub fn ideal() -> Self {
         RxConfig::default()
     }
 
     /// A receiver fed an erasure mask (one row per DATA symbol).
-    pub fn with_erasures(erasures: Vec<[bool; NUM_DATA]>) -> Self {
+    pub fn with_erasures(erasures: &'a [[bool; NUM_DATA]]) -> Self {
         RxConfig { erasures: Some(erasures) }
     }
 }
@@ -69,6 +71,21 @@ pub struct FrontEnd {
 }
 
 impl FrontEnd {
+    /// An empty placeholder for workspace initialisation; every field is
+    /// fully overwritten by [`Receiver::front_end_into`].
+    pub fn empty() -> Self {
+        FrontEnd {
+            h_est: [Complex::ZERO; 64],
+            noise_var_ltf: 0.0,
+            noise_var_pilot: 0.0,
+            rate: DataRate::Mbps6,
+            psdu_len: 0,
+            raw_symbols: Vec::new(),
+            data_y: Vec::new(),
+            equalized: Vec::new(),
+        }
+    }
+
     /// Per-data-subcarrier SNR (linear) from the LTF estimate.
     pub fn per_subcarrier_snr(&self) -> [f64; NUM_DATA] {
         let sigma2 = self.noise_var_ltf.max(NOISE_FLOOR_EPS);
@@ -136,6 +153,53 @@ impl RxFrame {
     }
 }
 
+/// Decoder scratch: buffers the decode stage consumes but whose contents
+/// nobody reads afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct RxScratch {
+    /// Soft bits in transmit (interleaved) order.
+    pub llrs: Vec<f64>,
+    /// FEC-chain scratch (deinterleave / depuncture / Viterbi).
+    pub fec: FecWorkspace,
+    /// Re-packed PSDU bytes for CRC verification.
+    pub psdu: Vec<u8>,
+}
+
+/// The decoder's output in workspace form — the same fields as
+/// [`RxFrame`] minus the cloned [`FrontEnd`], with the payload flattened
+/// to a reusable `Vec` plus a CRC flag.
+#[derive(Debug, Clone, Default)]
+pub struct RxDecodeOut {
+    /// Did the frame pass its CRC? [`RxDecodeOut::payload`] is only
+    /// meaningful when `true`.
+    pub crc_ok: bool,
+    /// The CRC-verified payload (empty when `crc_ok` is `false`).
+    pub payload: Vec<u8>,
+    /// Descrambled DATA-field bits (valid even when the CRC fails).
+    pub data_bits: Vec<u8>,
+    /// The recovered scrambler seed.
+    pub scrambler_seed: Option<u8>,
+    /// Hard decisions on every transmitted coded bit, transmit order.
+    pub hard_coded_bits: Vec<u8>,
+    /// Why the DATA-field decode failed, when it did.
+    pub decode_error: Option<PhyError>,
+}
+
+impl RxDecodeOut {
+    /// Materialises an owned [`RxFrame`] (cloning the front end), for
+    /// callers that want the owned-API result shape.
+    pub fn to_rx_frame(&self, fe: &FrontEnd) -> RxFrame {
+        RxFrame {
+            front_end: fe.clone(),
+            payload: self.crc_ok.then(|| self.payload.clone()),
+            data_bits: self.data_bits.clone(),
+            scrambler_seed: self.scrambler_seed,
+            hard_coded_bits: self.hard_coded_bits.clone(),
+            decode_error: self.decode_error,
+        }
+    }
+}
+
 /// The 802.11a receiver.
 ///
 /// Timing synchronisation is ideal (the sample stream starts at the first
@@ -165,7 +229,37 @@ impl Receiver {
     ///
     /// Any [`PhyError`] from framing or SIGNAL decoding.
     pub fn front_end(&self, samples: &[Complex]) -> Result<FrontEnd, PhyError> {
-        self.front_end_inner(samples, None)
+        let mut fe = FrontEnd::empty();
+        self.front_end_inner_into(samples, None, &mut fe)?;
+        Ok(fe)
+    }
+
+    /// [`Receiver::front_end`] writing into a caller-owned [`FrontEnd`],
+    /// which is fully overwritten on success.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PhyError`] from framing or SIGNAL decoding; `fe` holds
+    /// unspecified partial results on error.
+    pub fn front_end_into(&self, samples: &[Complex], fe: &mut FrontEnd) -> Result<(), PhyError> {
+        self.front_end_inner_into(samples, None, fe)
+    }
+
+    /// [`Receiver::front_end_known`] writing into a caller-owned
+    /// [`FrontEnd`].
+    ///
+    /// # Errors
+    ///
+    /// Framing errors ([`PhyError::FrameTooShort`] /
+    /// [`PhyError::LengthMismatch`]).
+    pub fn front_end_known_into(
+        &self,
+        samples: &[Complex],
+        rate: DataRate,
+        psdu_len: usize,
+        fe: &mut FrontEnd,
+    ) -> Result<(), PhyError> {
+        self.front_end_inner_into(samples, Some((rate, psdu_len)), fe)
     }
 
     /// Runs the front end with an out-of-band known `(rate, psdu_len)`,
@@ -182,14 +276,17 @@ impl Receiver {
         rate: DataRate,
         psdu_len: usize,
     ) -> Result<FrontEnd, PhyError> {
-        self.front_end_inner(samples, Some((rate, psdu_len)))
+        let mut fe = FrontEnd::empty();
+        self.front_end_inner_into(samples, Some((rate, psdu_len)), &mut fe)?;
+        Ok(fe)
     }
 
-    fn front_end_inner(
+    fn front_end_inner_into(
         &self,
         samples: &[Complex],
         known: Option<(DataRate, usize)>,
-    ) -> Result<FrontEnd, PhyError> {
+        fe: &mut FrontEnd,
+    ) -> Result<(), PhyError> {
         let min_len = PREAMBLE_LEN + SYMBOL_LEN;
         if samples.len() < min_len {
             return Err(PhyError::FrameTooShort { got: samples.len(), need: min_len });
@@ -235,9 +332,15 @@ impl Receiver {
             return Err(PhyError::LengthMismatch { need: n_symbols, got: have });
         }
         let polarity = Prbs127::pilot_polarity();
-        let mut raw_symbols = Vec::with_capacity(n_symbols);
-        let mut data_y = Vec::with_capacity(n_symbols);
-        let mut equalized = Vec::with_capacity(n_symbols);
+        let raw_symbols = &mut fe.raw_symbols;
+        let data_y = &mut fe.data_y;
+        let equalized = &mut fe.equalized;
+        raw_symbols.clear();
+        data_y.clear();
+        equalized.clear();
+        raw_symbols.reserve(n_symbols);
+        data_y.reserve(n_symbols);
+        equalized.reserve(n_symbols);
         let mut pilot_noise_acc = 0.0;
         for n in 0..n_symbols {
             let start = sig_start + SYMBOL_LEN * (n + 1);
@@ -290,16 +393,12 @@ impl Receiver {
             pilot_noise_acc / (n_symbols * PILOT_INDICES.len()) as f64
         };
 
-        Ok(FrontEnd {
-            h_est,
-            noise_var_ltf,
-            noise_var_pilot,
-            rate,
-            psdu_len,
-            raw_symbols,
-            data_y,
-            equalized,
-        })
+        fe.h_est = h_est;
+        fe.noise_var_ltf = noise_var_ltf;
+        fe.noise_var_pilot = noise_var_pilot;
+        fe.rate = rate;
+        fe.psdu_len = psdu_len;
+        Ok(())
     }
 
     /// Decodes a front end into bits, applying an optional erasure mask
@@ -309,6 +408,26 @@ impl Receiver {
     ///
     /// Panics if the erasure mask's length differs from the symbol count.
     pub fn decode(&self, fe: &FrontEnd, erasures: Option<&[[bool; NUM_DATA]]>) -> RxFrame {
+        let mut scratch = RxScratch::default();
+        let mut out = RxDecodeOut::default();
+        self.decode_into(fe, erasures, &mut scratch, &mut out);
+        out.to_rx_frame(fe)
+    }
+
+    /// [`Receiver::decode`] writing into caller-owned scratch and output
+    /// buffers, both fully overwritten — a dirty workspace from a previous
+    /// frame produces bit-identical results to a fresh one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the erasure mask's length differs from the symbol count.
+    pub fn decode_into(
+        &self,
+        fe: &FrontEnd,
+        erasures: Option<&[[bool; NUM_DATA]]>,
+        scratch: &mut RxScratch,
+        out: &mut RxDecodeOut,
+    ) {
         if let Some(mask) = erasures {
             assert_eq!(
                 mask.len(),
@@ -320,8 +439,12 @@ impl Receiver {
         let nbpsc = fe.rate.nbpsc();
         let weights = fe.llr_weights();
 
-        let mut llrs = Vec::with_capacity(fe.equalized.len() * fe.rate.ncbps());
-        let mut hard = Vec::with_capacity(llrs.capacity());
+        let llrs = &mut scratch.llrs;
+        let hard = &mut out.hard_coded_bits;
+        llrs.clear();
+        hard.clear();
+        llrs.reserve(fe.equalized.len() * fe.rate.ncbps());
+        hard.reserve(fe.equalized.len() * fe.rate.ncbps());
         for (n, row) in fe.equalized.iter().enumerate() {
             for (sc, &y) in row.iter().enumerate() {
                 let erased = erasures.is_some_and(|m| m[n][sc]);
@@ -329,30 +452,28 @@ impl Receiver {
                     llrs.extend(std::iter::repeat_n(0.0, nbpsc));
                     hard.extend(std::iter::repeat_n(0, nbpsc));
                 } else {
-                    modulation.soft_demap(y, weights[sc], &mut llrs);
-                    hard.extend(modulation.hard_demap(y));
+                    modulation.soft_demap(y, weights[sc], llrs);
+                    modulation.hard_demap_into(y, hard);
                 }
             }
         }
 
-        let decoded = decode_data_field(&llrs, fe.rate, fe.psdu_len);
-        let (data_bits, scrambler_seed, decode_error) = match decoded {
-            Ok(d) => (d.bits, Some(d.scrambler_seed), None),
-            Err(e) => (Vec::new(), None, Some(e)),
-        };
-        let payload = if data_bits.is_empty() {
-            None
-        } else {
-            extract_payload(&data_bits, fe.psdu_len)
-        };
-
-        RxFrame {
-            front_end: fe.clone(),
-            payload,
-            data_bits,
-            scrambler_seed,
-            hard_coded_bits: hard,
-            decode_error,
+        match decode_data_field_into(llrs, fe.rate, fe.psdu_len, &mut scratch.fec, &mut out.data_bits)
+        {
+            Ok(seed) => {
+                out.scrambler_seed = Some(seed);
+                out.decode_error = None;
+            }
+            Err(e) => {
+                out.data_bits.clear();
+                out.scrambler_seed = None;
+                out.decode_error = Some(e);
+            }
+        }
+        out.crc_ok = !out.data_bits.is_empty()
+            && extract_payload_into(&out.data_bits, fe.psdu_len, &mut scratch.psdu, &mut out.payload);
+        if !out.crc_ok {
+            out.payload.clear();
         }
     }
 
@@ -361,9 +482,9 @@ impl Receiver {
     /// # Errors
     ///
     /// Any [`PhyError`] from the front end.
-    pub fn receive(&self, samples: &[Complex], config: &RxConfig) -> Result<RxFrame, PhyError> {
+    pub fn receive(&self, samples: &[Complex], config: &RxConfig<'_>) -> Result<RxFrame, PhyError> {
         let fe = self.front_end(samples)?;
-        Ok(self.decode(&fe, config.erasures.as_deref()))
+        Ok(self.decode(&fe, config.erasures))
     }
 
     /// Receives from a raw stream with unknown frame offset and carrier
@@ -377,7 +498,7 @@ impl Receiver {
     pub fn receive_stream(
         &self,
         stream: &[Complex],
-        config: &RxConfig,
+        config: &RxConfig<'_>,
     ) -> Result<(Acquisition, RxFrame), PhyError> {
         let acq = Synchronizer::default().acquire(stream).ok_or(PhyError::NoPreamble)?;
         let mut aligned = stream[acq.frame_start..].to_vec();
@@ -394,12 +515,6 @@ fn nonzero(h: Complex) -> Complex {
     } else {
         h
     }
-}
-
-/// Ground-truth helper for experiments: the subcarrier indices of the
-/// data bins, re-exported for symbol-position bookkeeping.
-pub fn data_subcarrier_indices() -> [i32; NUM_DATA] {
-    data_indices()
 }
 
 #[cfg(test)]
@@ -471,7 +586,7 @@ mod tests {
         }
         let samples = frame.to_time_samples();
         let rx = Receiver::new()
-            .receive(&samples, &RxConfig::with_erasures(mask))
+            .receive(&samples, &RxConfig::with_erasures(&mask))
             .expect("front end ok");
         assert!(rx.crc_ok(), "EVD must bridge one silence per symbol");
     }

@@ -7,11 +7,23 @@ use crate::constellation::Modulation;
 use crate::error::PhyError;
 use crate::rates::DataRate;
 use cos_dsp::Complex;
-use cos_fec::bits::{push_field, read_field};
+use cos_fec::bits::read_field;
 use cos_fec::{ConvEncoder, Interleaver, ViterbiDecoder};
+use std::sync::OnceLock;
 
 /// Number of information bits in the SIGNAL field.
 pub const SIGNAL_BITS: usize = 24;
+
+/// Number of coded bits in the SIGNAL field (rate 1/2, one BPSK symbol).
+pub const SIGNAL_CODED_BITS: usize = 2 * SIGNAL_BITS;
+
+/// The SIGNAL field's interleaver (48 coded bits, BPSK), built once per
+/// process — the field is decoded on every frame, so its hot path must
+/// not allocate.
+fn signal_interleaver() -> &'static Interleaver {
+    static TABLE: OnceLock<Interleaver> = OnceLock::new();
+    TABLE.get_or_init(|| Interleaver::new(SIGNAL_CODED_BITS, 1))
+}
 
 /// Builds the 24 SIGNAL bits for a frame.
 ///
@@ -20,14 +32,15 @@ pub const SIGNAL_BITS: usize = 24;
 /// Panics if `length_bytes` exceeds the 12-bit LENGTH field (4095).
 pub fn signal_bits(rate: DataRate, length_bytes: usize) -> [u8; SIGNAL_BITS] {
     assert!(length_bytes <= 0xFFF, "LENGTH field is 12 bits, got {length_bytes}");
-    let mut bits = Vec::with_capacity(SIGNAL_BITS);
-    bits.extend_from_slice(&rate.signal_bits());
-    bits.push(0); // reserved
-    push_field(&mut bits, length_bytes as u32, 12);
-    let parity = bits.iter().fold(0u8, |p, &b| p ^ b);
-    bits.push(parity);
-    bits.extend_from_slice(&[0; 6]); // tail
-    bits.try_into().expect("24 bits by construction")
+    let mut bits = [0u8; SIGNAL_BITS];
+    bits[..4].copy_from_slice(&rate.signal_bits());
+    // bits[4] is the reserved bit; LENGTH is LSB first (Clause 17.3.4.3).
+    for i in 0..12 {
+        bits[5 + i] = ((length_bytes >> i) & 1) as u8;
+    }
+    bits[17] = bits[..17].iter().fold(0u8, |p, &b| p ^ b); // even parity
+    // bits[18..24] are the six tail zeros.
+    bits
 }
 
 /// Parses 24 decoded SIGNAL bits.
@@ -63,12 +76,24 @@ pub fn parse_signal_slice(bits: &[u8]) -> Result<(DataRate, usize), PhyError> {
 }
 
 /// Encodes the SIGNAL bits to 48 BPSK constellation points (rate 1/2,
-/// interleaved) ready for [`crate::ofdm::FreqSymbol::assemble`].
-pub fn encode_signal_symbol(rate: DataRate, length_bytes: usize) -> Vec<Complex> {
+/// interleaved) ready for [`crate::ofdm::FreqSymbol::assemble`] —
+/// allocation-free, everything on the stack.
+pub fn encode_signal_points(rate: DataRate, length_bytes: usize) -> [Complex; SIGNAL_CODED_BITS] {
     let bits = signal_bits(rate, length_bytes);
-    let coded = ConvEncoder::new().encode(&bits);
-    let interleaved = Interleaver::new(48, 1).interleave(&coded);
-    interleaved.iter().map(|&b| Modulation::Bpsk.map(&[b])).collect()
+    let mut coded = [0u8; SIGNAL_CODED_BITS];
+    ConvEncoder::new().encode_to_slice(&bits, &mut coded);
+    let mut interleaved = [0u8; SIGNAL_CODED_BITS];
+    signal_interleaver().interleave_to_slice(&coded, &mut interleaved);
+    let mut points = [Complex::ZERO; SIGNAL_CODED_BITS];
+    for (slot, &b) in points.iter_mut().zip(&interleaved) {
+        *slot = Modulation::Bpsk.map(&[b]);
+    }
+    points
+}
+
+/// [`encode_signal_points`] as an owned `Vec` (API compatibility).
+pub fn encode_signal_symbol(rate: DataRate, length_bytes: usize) -> Vec<Complex> {
+    encode_signal_points(rate, length_bytes).to_vec()
 }
 
 /// Decodes 48 equalised SIGNAL points back to `(rate, length)`.
@@ -80,13 +105,15 @@ pub fn encode_signal_symbol(rate: DataRate, length_bytes: usize) -> Vec<Complex>
 ///
 /// Propagates the parity/rate errors of [`parse_signal_bits`].
 pub fn decode_signal_symbol(points: &[Complex; 48], weight: f64) -> Result<(DataRate, usize), PhyError> {
-    let mut llrs = Vec::with_capacity(48);
-    for p in points {
-        Modulation::Bpsk.soft_demap(*p, weight, &mut llrs);
+    let mut llrs = [0f64; SIGNAL_CODED_BITS];
+    for (p, slot) in points.iter().zip(llrs.chunks_exact_mut(1)) {
+        Modulation::Bpsk.soft_demap_to_slice(*p, weight, slot);
     }
-    let deinterleaved = Interleaver::new(48, 1).deinterleave_soft(&llrs);
-    let decoded = ViterbiDecoder::new().decode(&deinterleaved, true);
-    let bits: [u8; SIGNAL_BITS] = decoded.try_into().expect("24 data bits from 48 coded");
+    let mut deinterleaved = [0f64; SIGNAL_CODED_BITS];
+    signal_interleaver().deinterleave_soft_to_slice(&llrs, &mut deinterleaved);
+    let mut traceback = [0u64; SIGNAL_BITS];
+    let mut bits = [0u8; SIGNAL_BITS];
+    ViterbiDecoder::new().decode_to_slices(&deinterleaved, true, &mut traceback, &mut bits);
     parse_signal_bits(&bits)
 }
 

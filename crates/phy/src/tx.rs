@@ -6,13 +6,15 @@
 //! corresponding IFFT input, exactly the mechanism of paper Eq. (3) — and
 //! only then renders the waveform with [`TxFrame::to_time_samples`].
 
-use crate::frame::{build_data_field, payload_to_psdu, DataField};
+use crate::frame::{build_data_field_into, payload_to_psdu_into, DataField};
 use crate::ofdm::{FreqSymbol, OfdmEngine};
+use crate::pipeline::TxWorkspace;
 use crate::preamble;
 use crate::rates::DataRate;
-use crate::signal::encode_signal_symbol;
+use crate::signal::encode_signal_points;
 use crate::subcarriers::{data_bins, NUM_DATA, SYMBOL_LEN};
 use cos_dsp::{Complex, Prbs127};
+use cos_fec::FecWorkspace;
 
 /// A fully assembled frame, frequency-domain, ready for silence insertion
 /// and waveform rendering.
@@ -38,6 +40,21 @@ pub struct TxFrame {
 }
 
 impl TxFrame {
+    /// An empty placeholder for workspace initialisation; every field is
+    /// fully overwritten by [`Transmitter::build_frame_into`].
+    pub fn empty() -> Self {
+        TxFrame {
+            rate: DataRate::Mbps6,
+            psdu_len: 0,
+            scrambler_seed: 1,
+            signal_symbol: FreqSymbol::empty(),
+            data_symbols: Vec::new(),
+            mapped_points: Vec::new(),
+            silence_mask: Vec::new(),
+            data_field: DataField::empty(DataRate::Mbps6),
+        }
+    }
+
     /// Number of DATA OFDM symbols.
     pub fn n_data_symbols(&self) -> usize {
         self.data_symbols.len()
@@ -72,13 +89,20 @@ impl TxFrame {
 
     /// Renders the complete frame waveform: preamble, SIGNAL, DATA.
     pub fn to_time_samples(&self) -> Vec<Complex> {
+        let mut samples = Vec::new();
+        self.to_time_samples_into(&mut samples);
+        samples
+    }
+
+    /// [`TxFrame::to_time_samples`] writing into a caller-owned buffer,
+    /// which is fully overwritten.
+    pub fn to_time_samples_into(&self, samples: &mut Vec<Complex>) {
         let engine = OfdmEngine::new();
-        let mut samples = preamble::generate();
+        preamble::generate_into(samples);
         samples.extend_from_slice(&engine.modulate(&self.signal_symbol));
         for sym in &self.data_symbols {
             samples.extend_from_slice(&engine.modulate(sym));
         }
-        samples
     }
 
     /// Frame airtime in seconds.
@@ -107,46 +131,95 @@ impl Transmitter {
     /// Panics if the resulting PSDU exceeds the 4095-byte LENGTH field or
     /// the scrambler seed is invalid.
     pub fn build_frame(&self, payload: &[u8], rate: DataRate, scrambler_seed: u8) -> TxFrame {
-        let psdu = payload_to_psdu(payload);
+        let mut psdu = Vec::new();
+        payload_to_psdu_into(payload, &mut psdu);
         self.build_frame_from_psdu(&psdu, rate, scrambler_seed)
     }
 
     /// Builds a frame from an already-framed PSDU (payload + FCS).
     pub fn build_frame_from_psdu(&self, psdu: &[u8], rate: DataRate, scrambler_seed: u8) -> TxFrame {
-        let data_field = build_data_field(psdu, rate, scrambler_seed);
-        let polarity = Prbs127::pilot_polarity();
-
-        // SIGNAL symbol with pilot polarity p_0.
-        let signal_points = encode_signal_symbol(rate, psdu.len());
-        let signal_symbol = FreqSymbol::assemble(&signal_points, polarity[0]);
-
-        // DATA symbols: map Ncbps interleaved bits per symbol.
-        let modulation = rate.modulation();
-        let nbpsc = rate.nbpsc();
-        let mut data_symbols = Vec::with_capacity(data_field.n_symbols);
-        let mut mapped_points = Vec::with_capacity(data_field.n_symbols);
-        for (n, chunk) in data_field.interleaved.chunks_exact(rate.ncbps()).enumerate() {
-            let mut points = [Complex::ZERO; NUM_DATA];
-            for (sc, bits) in chunk.chunks_exact(nbpsc).enumerate() {
-                points[sc] = modulation.map(bits);
-            }
-            let p = polarity[(n + 1) % Prbs127::PERIOD];
-            data_symbols.push(FreqSymbol::assemble(&points, p));
-            mapped_points.push(points);
-        }
-
-        let silence_mask = vec![[false; NUM_DATA]; data_field.n_symbols];
-        TxFrame {
-            rate,
-            psdu_len: psdu.len(),
-            scrambler_seed,
-            signal_symbol,
-            data_symbols,
-            mapped_points,
-            silence_mask,
-            data_field,
-        }
+        let mut frame = TxFrame::empty();
+        build_frame_from_psdu_core(psdu, rate, scrambler_seed, &mut frame, &mut FecWorkspace::new());
+        frame
     }
+
+    /// [`Transmitter::build_frame`] writing into a caller-owned
+    /// [`TxWorkspace`]: `ws.frame` (and the PSDU/FEC scratch behind it) is
+    /// fully overwritten; `ws.samples` is untouched until
+    /// [`TxWorkspace::render`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting PSDU exceeds the 4095-byte LENGTH field or
+    /// the scrambler seed is invalid.
+    pub fn build_frame_into(
+        &self,
+        payload: &[u8],
+        rate: DataRate,
+        scrambler_seed: u8,
+        ws: &mut TxWorkspace,
+    ) {
+        let TxWorkspace { frame, psdu, fec, .. } = ws;
+        payload_to_psdu_into(payload, psdu);
+        build_frame_from_psdu_core(psdu, rate, scrambler_seed, frame, fec);
+    }
+
+    /// [`Transmitter::build_frame_from_psdu`] writing into a caller-owned
+    /// [`TxWorkspace`].
+    pub fn build_frame_from_psdu_into(
+        &self,
+        psdu: &[u8],
+        rate: DataRate,
+        scrambler_seed: u8,
+        ws: &mut TxWorkspace,
+    ) {
+        let TxWorkspace { frame, fec, .. } = ws;
+        build_frame_from_psdu_core(psdu, rate, scrambler_seed, frame, fec);
+    }
+}
+
+/// The single frame-assembly implementation both the owned and workspace
+/// APIs call: fills `frame` from `psdu`, reusing `fec` scratch.
+fn build_frame_from_psdu_core(
+    psdu: &[u8],
+    rate: DataRate,
+    scrambler_seed: u8,
+    frame: &mut TxFrame,
+    fec: &mut FecWorkspace,
+) {
+    build_data_field_into(psdu, rate, scrambler_seed, &mut frame.data_field, fec);
+    let polarity = Prbs127::pilot_polarity();
+
+    frame.rate = rate;
+    frame.psdu_len = psdu.len();
+    frame.scrambler_seed = scrambler_seed;
+
+    // SIGNAL symbol with pilot polarity p_0.
+    let signal_points = encode_signal_points(rate, psdu.len());
+    frame.signal_symbol = FreqSymbol::assemble(&signal_points, polarity[0]);
+
+    // DATA symbols: map Ncbps interleaved bits per symbol. Destructure so
+    // the interleaved bits can be read while the symbol vectors are
+    // rebuilt.
+    let TxFrame { data_field, data_symbols, mapped_points, silence_mask, .. } = frame;
+    let modulation = rate.modulation();
+    let nbpsc = rate.nbpsc();
+    data_symbols.clear();
+    mapped_points.clear();
+    data_symbols.reserve(data_field.n_symbols);
+    mapped_points.reserve(data_field.n_symbols);
+    for (n, chunk) in data_field.interleaved.chunks_exact(rate.ncbps()).enumerate() {
+        let mut points = [Complex::ZERO; NUM_DATA];
+        for (sc, bits) in chunk.chunks_exact(nbpsc).enumerate() {
+            points[sc] = modulation.map(bits);
+        }
+        let p = polarity[(n + 1) % Prbs127::PERIOD];
+        data_symbols.push(FreqSymbol::assemble(&points, p));
+        mapped_points.push(points);
+    }
+
+    silence_mask.clear();
+    silence_mask.resize(data_field.n_symbols, [false; NUM_DATA]);
 }
 
 #[cfg(test)]

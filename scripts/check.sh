@@ -25,4 +25,12 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 echo "== robustness_soak --quick (fault-matrix smoke: every impairment and mode transition, fixed seeds)"
 cargo run -q --release -p cos-experiments --bin robustness_soak -- --quick
 
+echo "== alloc gate (workspace pipeline must stay ≥10x leaner than the owned path, or ≥1.5x faster)"
+cargo run -q --release -p cos-bench --bin alloc_gate -- --check
+
+echo "== CSV determinism (buffer reuse must not change a single byte of the committed results)"
+cargo run -q --release -p cos-experiments --bin fig02_snr_gap > /dev/null
+cargo run -q --release -p cos-experiments --bin fig05_evm_positions > /dev/null
+git diff --exit-code -- results/
+
 echo "ALL CHECKS PASSED"

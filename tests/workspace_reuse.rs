@@ -1,0 +1,196 @@
+//! Property tests for the zero-copy workspace pipeline: a dirty,
+//! previously-used workspace must produce results **bit-identical** to
+//! the freshly-allocating owned APIs, across rates, channels, fault
+//! scenarios and A-MPDU aggregation.
+//!
+//! This is the determinism contract of `docs/ARCHITECTURE.md` made
+//! executable: every `*_into` stage fully overwrites its outputs, so
+//! buffer reuse can never leak state between frames.
+
+use cos::channel::{BurstInterference, ChannelConfig, FaultEngine, Link};
+use cos::core::power_controller::PowerController;
+use cos::fec::bits::bits_to_bytes;
+use cos::phy::aggregation::{aggregate, deaggregate};
+use cos::phy::frame::SERVICE_BITS;
+use cos::phy::rates::DataRate;
+use cos::phy::rx::{Receiver, RxConfig, RxFrame};
+use cos::phy::subcarriers::NUM_DATA;
+use cos::phy::tx::Transmitter;
+use cos::phy::{PhyWorkspace, RxPipeline, TxPipeline};
+use proptest::prelude::*;
+
+fn arb_rate() -> impl Strategy<Value = DataRate> {
+    proptest::sample::select(DataRate::ALL.to_vec())
+}
+
+/// Leaves unrelated garbage in every buffer of the workspace so reuse
+/// bugs (stale lengths, leftover tails) have something to leak.
+fn dirty(tx: &TxPipeline, rx: &RxPipeline, ws: &mut PhyWorkspace) {
+    tx.build_and_render(&[0x5A; 333], DataRate::Mbps54, 0x31, &mut ws.tx);
+    let samples = ws.tx.samples.clone();
+    rx.receive_into(&samples, &RxConfig::ideal(), &mut ws.rx).expect("clean loopback");
+}
+
+/// Field-by-field equality of the decode result (ignoring the front-end
+/// clone, which is compared separately where it matters).
+fn assert_same_decode(ws_frame: &RxFrame, owned: &RxFrame) {
+    prop_assert_eq!(&ws_frame.payload, &owned.payload);
+    prop_assert_eq!(&ws_frame.data_bits, &owned.data_bits);
+    prop_assert_eq!(ws_frame.scrambler_seed, owned.scrambler_seed);
+    prop_assert_eq!(&ws_frame.hard_coded_bits, &owned.hard_coded_bits);
+    prop_assert_eq!(ws_frame.decode_error, owned.decode_error);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dirty_workspace_receive_matches_owned(
+        payload in proptest::collection::vec(any::<u8>(), 1..500),
+        rate in arb_rate(),
+        seed in 1u8..0x80,
+        channel_seed in 0u64..500,
+        snr_db in 8.0f64..30.0,
+    ) {
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        dirty(&tx, &rx, &mut ws);
+
+        // Workspace path: build, render, propagate, receive — all into
+        // reused buffers.
+        tx.build_and_render(&payload, rate, seed, &mut ws.tx);
+        let owned_samples = Transmitter::new().build_frame(&payload, rate, seed).to_time_samples();
+        prop_assert_eq!(&ws.tx.samples, &owned_samples);
+
+        let mut link_ws = Link::new(ChannelConfig::default(), snr_db, channel_seed);
+        let mut link_owned = Link::new(ChannelConfig::default(), snr_db, channel_seed);
+        link_ws.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        let rx_samples = link_owned.transmit(&owned_samples);
+        prop_assert_eq!(&ws.rx.samples, &rx_samples);
+
+        let ws_result = rx.receive_into(&rx_samples, &RxConfig::ideal(), &mut ws.rx);
+        let owned_result = Receiver::new().receive(&rx_samples, &RxConfig::ideal());
+        match (ws_result, owned_result) {
+            (Ok(()), Ok(owned)) => {
+                assert_same_decode(&ws.rx.to_rx_frame(), &owned);
+                prop_assert_eq!(&ws.rx.fe.h_est[..], &owned.front_end.h_est[..]);
+                prop_assert_eq!(&ws.rx.fe.equalized, &owned.front_end.equalized);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "paths diverged: workspace {:?} vs owned {:?}", a, b.map(|f| f.crc_ok())),
+        }
+    }
+
+    #[test]
+    fn erasure_decode_matches_owned_with_dirty_workspace(
+        channel_seed in 0u64..300,
+        groups in 1usize..8,
+        msg_seed in any::<u64>(),
+        snr_db in 14.0f64..26.0,
+    ) {
+        // Embed a control message as silences and decode with the genie
+        // erasure mask — the CoS receive path — on both pipelines.
+        let mut x = msg_seed;
+        let bits: Vec<u8> = (0..groups * 4).map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 63) & 1) as u8
+        }).collect();
+        let selected = vec![3usize, 12, 20, 29, 37, 45];
+
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        dirty(&tx, &rx, &mut ws);
+
+        tx.transmitter().build_frame_into(&[0xAA; 700], DataRate::Mbps24, 0x5D, &mut ws.tx);
+        let mut owned_frame = Transmitter::new().build_frame(&[0xAA; 700], DataRate::Mbps24, 0x5D);
+        let controller = PowerController::default();
+        controller.embed(&mut ws.tx.frame, &selected, &bits).expect("fits");
+        controller.embed(&mut owned_frame, &selected, &bits).expect("fits");
+        ws.tx.render();
+        prop_assert_eq!(&ws.tx.samples, &owned_frame.to_time_samples());
+
+        let mut link_ws = Link::new(ChannelConfig::default(), snr_db, channel_seed);
+        let mut link_owned = Link::new(ChannelConfig::default(), snr_db, channel_seed);
+        link_ws.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        let rx_samples = link_owned.transmit(&owned_frame.to_time_samples());
+
+        let mask: Vec<[bool; NUM_DATA]> = owned_frame.silence_mask.clone();
+        let config = RxConfig::with_erasures(&mask);
+        let ws_result = rx.receive_into(&rx_samples, &config, &mut ws.rx);
+        let owned_result = Receiver::new().receive(&rx_samples, &config);
+        match (ws_result, owned_result) {
+            (Ok(()), Ok(owned)) => assert_same_decode(&ws.rx.to_rx_frame(), &owned),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "paths diverged"),
+        }
+    }
+
+    #[test]
+    fn faulty_channel_decode_matches_owned(
+        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        channel_seed in 0u64..200,
+        fault_seed in 0u64..50,
+    ) {
+        // Burst interference corrupts frames mid-air; both paths must
+        // fail (or survive) identically, bit for bit.
+        let mk_link = |seed: u64| {
+            Link::new(ChannelConfig::default(), 14.0, seed).with_faults(
+                FaultEngine::new().with(BurstInterference::new(25.0, 300, 0.5, fault_seed)),
+            )
+        };
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        dirty(&tx, &rx, &mut ws);
+
+        tx.build_and_render(&payload, DataRate::Mbps12, 0x47, &mut ws.tx);
+        let mut link_ws = mk_link(channel_seed);
+        let mut link_owned = mk_link(channel_seed);
+        link_ws.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        let rx_samples = link_owned.transmit(
+            &Transmitter::new().build_frame(&payload, DataRate::Mbps12, 0x47).to_time_samples(),
+        );
+        prop_assert_eq!(&ws.rx.samples, &rx_samples);
+
+        let ws_result = rx.receive_into(&rx_samples, &RxConfig::ideal(), &mut ws.rx);
+        let owned_result = Receiver::new().receive(&rx_samples, &RxConfig::ideal());
+        match (ws_result, owned_result) {
+            (Ok(()), Ok(owned)) => assert_same_decode(&ws.rx.to_rx_frame(), &owned),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "paths diverged"),
+        }
+    }
+
+    #[test]
+    fn aggregated_psdu_roundtrips_through_dirty_workspace(
+        subframes in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..120), 1..4),
+        rate in arb_rate(),
+    ) {
+        // A-MPDU aggregation rides the PSDU path: aggregate, transmit
+        // through a dirty workspace, receive into it, deaggregate.
+        let psdu = aggregate(&subframes).expect("aggregates");
+        let tx = TxPipeline::new();
+        let rx = RxPipeline::new();
+        let mut ws = PhyWorkspace::new();
+        dirty(&tx, &rx, &mut ws);
+
+        tx.transmitter().build_frame_from_psdu_into(&psdu, rate, 0x2B, &mut ws.tx);
+        ws.tx.render();
+        let owned_samples =
+            Transmitter::new().build_frame_from_psdu(&psdu, rate, 0x2B).to_time_samples();
+        prop_assert_eq!(&ws.tx.samples, &owned_samples);
+
+        let samples = ws.tx.samples.clone();
+        rx.receive_into(&samples, &RxConfig::ideal(), &mut ws.rx).expect("clean loopback");
+        // The DATA-field PSDU round-trips exactly: every subframe back out.
+        let psdu_bits = &ws.rx.out.data_bits[SERVICE_BITS..][..psdu.len() * 8];
+        let rx_psdu = bits_to_bytes(psdu_bits);
+        prop_assert_eq!(&rx_psdu, &psdu);
+        let rebuilt: Vec<Option<Vec<u8>>> = deaggregate(&rx_psdu);
+        let got: Vec<Vec<u8>> = rebuilt.into_iter().flatten().collect();
+        prop_assert_eq!(got, subframes);
+    }
+}
