@@ -3,10 +3,16 @@
 //! Runs the same end-to-end chain (build frame → indoor channel →
 //! front end → decode) twice: once through the owned, allocating APIs
 //! and once through the `*_into` workspace pipeline, under a counting
-//! global allocator. Writes the comparison to `BENCH_pr4.json` in the
-//! current directory and, with `--check`, exits non-zero unless the
-//! workspace path allocates at most a tenth of what the owned path does
-//! per frame (the PR 4 acceptance floor).
+//! global allocator. Also profiles the streaming receive path
+//! (`receive_stream` vs `receive_stream_into`, which must be
+//! allocation-free at steady state) and the resilient session path
+//! (`send_packet_resilient` vs the `_summary` variant). Writes the
+//! comparison to `BENCH_pr4.json` in the current directory and, with
+//! `--check`, exits non-zero unless the workspace path allocates at most
+//! a tenth of what the owned path does per frame (the PR 4 acceptance
+//! floor), the streaming workspace path allocates nothing per frame, and
+//! the resilient summary path allocates strictly less than the
+//! report-building one.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -15,6 +21,8 @@ use std::time::Instant;
 
 use cos_bench::bench_payload;
 use cos_channel::{ChannelConfig, Link};
+use cos_core::session::{CosSession, SessionConfig};
+use cos_dsp::Complex;
 use cos_phy::rates::DataRate;
 use cos_phy::rx::{Receiver, RxConfig};
 use cos_phy::tx::Transmitter;
@@ -131,7 +139,7 @@ fn run_workspace() -> Measurement {
     measure(move || {
         tx.build_and_render(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx);
         link.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
-        let cos_phy::RxWorkspace { samples, fe, scratch, out } = &mut ws.rx;
+        let cos_phy::RxWorkspace { samples, fe, scratch, out, .. } = &mut ws.rx;
         match rx.receiver().front_end_into(samples, fe) {
             Ok(()) => {
                 rx.receiver().decode_into(fe, None, scratch, out);
@@ -140,6 +148,63 @@ fn run_workspace() -> Measurement {
             Err(_) => false,
         }
     })
+}
+
+/// Idle samples before the frame in the streaming-rx scenarios, so the
+/// synchroniser genuinely has to find the preamble.
+const STREAM_PAD: usize = 96;
+
+fn run_stream_owned() -> Measurement {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = Transmitter::new();
+    let rx = Receiver::new();
+    measure(|| {
+        let frame = tx.build_frame(&payload, DataRate::Mbps24, 0x5D);
+        let rx_samples = link.transmit(&frame.to_time_samples());
+        let mut stream = vec![Complex::ZERO; STREAM_PAD];
+        stream.extend_from_slice(&rx_samples);
+        match rx.receive_stream(&stream, &RxConfig::ideal()) {
+            Ok((_, decoded)) => decoded.crc_ok(),
+            Err(_) => false,
+        }
+    })
+}
+
+fn run_stream_workspace() -> Measurement {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = TxPipeline::new();
+    let rx = RxPipeline::new();
+    let mut ws = PhyWorkspace::new();
+    let mut stream: Vec<Complex> = Vec::new();
+    measure(move || {
+        tx.build_and_render(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx);
+        link.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        stream.clear();
+        stream.resize(STREAM_PAD, Complex::ZERO);
+        stream.extend_from_slice(&ws.rx.samples);
+        match rx.receiver().receive_stream_into(&stream, &RxConfig::ideal(), &mut ws.rx) {
+            Ok(_) => ws.rx.out.crc_ok,
+            Err(_) => false,
+        }
+    })
+}
+
+fn resilient_session() -> CosSession {
+    CosSession::new(SessionConfig { snr_db: SNR_DB, ..Default::default() }, 42)
+}
+
+fn run_resilient_report() -> Measurement {
+    let payload = bench_payload();
+    let mut session = resilient_session();
+    measure(move || session.send_packet_resilient(&payload).packet.data_ok)
+}
+
+fn run_resilient_summary() -> Measurement {
+    let payload = bench_payload();
+    let mut session = resilient_session();
+    measure(move || session.send_packet_resilient_summary(&payload).packet.data_ok)
 }
 
 /// Prints per-stage allocation counts for one frame on a warmed-up
@@ -186,41 +251,79 @@ fn main() {
 
     let owned = run_owned();
     let workspace = run_workspace();
+    let stream_owned = run_stream_owned();
+    let stream_workspace = run_stream_workspace();
+    let resilient_report = run_resilient_report();
+    let resilient_summary = run_resilient_summary();
 
     assert_eq!(
         owned.crc_ok, workspace.crc_ok,
         "owned and workspace paths decoded different frame counts"
+    );
+    assert_eq!(
+        stream_owned.crc_ok, stream_workspace.crc_ok,
+        "owned and workspace streaming paths decoded different frame counts"
+    );
+    assert_eq!(
+        resilient_report.crc_ok, resilient_summary.crc_ok,
+        "resilient report and summary paths decoded different frame counts"
     );
 
     // With a fully allocation-free workspace path the ratio is reported
     // against a 1-alloc floor, i.e. "at least N× fewer".
     let alloc_ratio = owned.allocs_per_frame / workspace.allocs_per_frame.max(1.0);
     let speedup = workspace.frames_per_sec / owned.frames_per_sec;
+    let stream_ratio = stream_owned.allocs_per_frame / stream_workspace.allocs_per_frame.max(1.0);
 
+    let section = |m: &Measurement| {
+        format!(
+            "{{\n    \"allocs_per_frame\": {:.2},\n    \"bytes_per_frame\": {:.0},\n    \"frames_per_sec\": {:.2}\n  }}",
+            m.allocs_per_frame, m.bytes_per_frame, m.frames_per_sec,
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {{\n    \"allocs_per_frame\": {:.2},\n    \"bytes_per_frame\": {:.0},\n    \"frames_per_sec\": {:.2}\n  }},\n  \"workspace\": {{\n    \"allocs_per_frame\": {:.2},\n    \"bytes_per_frame\": {:.0},\n    \"frames_per_sec\": {:.2}\n  }},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"crc_ok_frames\": {}\n}}\n",
-        owned.allocs_per_frame,
-        owned.bytes_per_frame,
-        owned.frames_per_sec,
-        workspace.allocs_per_frame,
-        workspace.bytes_per_frame,
-        workspace.frames_per_sec,
+        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {},\n  \"workspace\": {},\n  \"stream_owned\": {},\n  \"stream_workspace\": {},\n  \"resilient_report\": {},\n  \"resilient_summary\": {},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"stream_alloc_reduction\": {:.1},\n  \"crc_ok_frames\": {}\n}}\n",
+        section(&owned),
+        section(&workspace),
+        section(&stream_owned),
+        section(&stream_workspace),
+        section(&resilient_report),
+        section(&resilient_summary),
         alloc_ratio,
         speedup,
+        stream_ratio,
         owned.crc_ok,
     );
     std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
     print!("{json}");
 
     if check {
-        let pass = alloc_ratio >= 10.0 || speedup >= 1.5;
-        if !pass {
-            eprintln!(
-                "alloc gate FAILED: alloc reduction {alloc_ratio:.1}x (< 10x) and \
-                 rx speedup {speedup:.3}x (< 1.5x)"
-            );
+        let mut failures = Vec::new();
+        if alloc_ratio < 10.0 && speedup < 1.5 {
+            failures.push(format!(
+                "alloc reduction {alloc_ratio:.1}x (< 10x) and rx speedup {speedup:.3}x (< 1.5x)"
+            ));
+        }
+        if stream_workspace.allocs_per_frame > 0.0 {
+            failures.push(format!(
+                "streaming workspace rx allocates {:.2}/frame (want 0)",
+                stream_workspace.allocs_per_frame
+            ));
+        }
+        if resilient_summary.allocs_per_frame >= resilient_report.allocs_per_frame {
+            failures.push(format!(
+                "resilient summary path allocates {:.2}/frame, not below the report path's {:.2}",
+                resilient_summary.allocs_per_frame, resilient_report.allocs_per_frame
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("alloc gate FAILED: {}", failures.join("; "));
             std::process::exit(1);
         }
-        eprintln!("alloc gate passed: {alloc_ratio:.1}x fewer allocs, {speedup:.3}x rx speedup");
+        eprintln!(
+            "alloc gate passed: {alloc_ratio:.1}x fewer allocs, {speedup:.3}x rx speedup, \
+             streaming rx 0 allocs/frame, resilient summary {:.2} vs report {:.2} allocs/frame",
+            resilient_summary.allocs_per_frame, resilient_report.allocs_per_frame
+        );
     }
 }

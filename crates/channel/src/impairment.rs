@@ -53,7 +53,11 @@ pub enum FeedbackFate {
 /// configuration replays exactly. The two hooks default to no-ops, so an
 /// impairment can touch only the waveform, only the feedback path, or
 /// both.
-pub trait Impairment: fmt::Debug {
+///
+/// The `Send` bound lets a `Link` carrying a fault engine move between
+/// worker threads — the batch engine shards whole sessions (link
+/// included) across workers.
+pub trait Impairment: fmt::Debug + Send {
     /// Stable short name, used in soak CSVs and smoke-test output.
     fn name(&self) -> &'static str;
 

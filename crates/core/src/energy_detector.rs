@@ -45,6 +45,13 @@ impl Detection {
     pub fn control_bits(&self, codec: &IntervalCodec) -> Option<Vec<u8>> {
         codec.decode(&self.positions)
     }
+
+    /// Workspace variant of [`control_bits`](Self::control_bits): decodes
+    /// into `bits`, reusing its capacity. Returns `false` (with `bits`
+    /// unspecified) when the positions are not a valid interval encoding.
+    pub fn control_bits_into(&self, codec: &IntervalCodec, bits: &mut Vec<u8>) -> bool {
+        codec.decode_into(&self.positions, bits)
+    }
 }
 
 /// A symbol-level energy detector.
@@ -199,6 +206,10 @@ impl EnergyDetector {
         let bins = data_bins();
         let n_sel = selected.len();
         det.positions.clear();
+        // Reserve the frame-geometry bound (every scanned slot flagged) so
+        // the buffer saturates on the first frame of a given geometry and
+        // an unusually silence-heavy later frame can never reallocate.
+        det.positions.reserve(fe.raw_symbols.len() * n_sel);
         det.erasures.clear();
         det.erasures.resize(fe.raw_symbols.len(), [false; NUM_DATA]);
         for (sym_idx, sym) in fe.raw_symbols.iter().enumerate() {
@@ -241,6 +252,64 @@ impl DetectionAccuracy {
             false_negatives,
             actual_silences: truth_set.len(),
             actual_normals: total_positions - truth_set.len(),
+        }
+    }
+
+    /// Allocation-free variant of [`evaluate`](Self::evaluate) for inputs
+    /// that are already sorted ascending — which detector output
+    /// ([`Detection::positions`]), codec output ([`IntervalCodec::encode`])
+    /// and the coherent validator all guarantee. A single merge pass
+    /// replaces the two hash sets; duplicates are coalesced so the result
+    /// is identical to [`evaluate`](Self::evaluate) on the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that both inputs are sorted ascending.
+    pub fn evaluate_sorted(detected: &[usize], truth: &[usize], total_positions: usize) -> Self {
+        debug_assert!(detected.windows(2).all(|w| w[0] <= w[1]), "detected must be sorted");
+        debug_assert!(truth.windows(2).all(|w| w[0] <= w[1]), "truth must be sorted");
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut fp, mut fn_, mut n_truth) = (0usize, 0usize, 0usize);
+        let skip_dups = |s: &[usize], mut k: usize| {
+            let v = s[k];
+            while k + 1 < s.len() && s[k + 1] == v {
+                k += 1;
+            }
+            k + 1
+        };
+        while i < detected.len() || j < truth.len() {
+            match (detected.get(i), truth.get(j)) {
+                (Some(&d), Some(&t)) if d == t => {
+                    n_truth += 1;
+                    i = skip_dups(detected, i);
+                    j = skip_dups(truth, j);
+                }
+                (Some(&d), Some(&t)) if d < t => {
+                    fp += 1;
+                    i = skip_dups(detected, i);
+                }
+                (Some(_), Some(_)) => {
+                    fn_ += 1;
+                    n_truth += 1;
+                    j = skip_dups(truth, j);
+                }
+                (Some(_), None) => {
+                    fp += 1;
+                    i = skip_dups(detected, i);
+                }
+                (None, Some(_)) => {
+                    fn_ += 1;
+                    n_truth += 1;
+                    j = skip_dups(truth, j);
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        DetectionAccuracy {
+            false_positives: fp,
+            false_negatives: fn_,
+            actual_silences: n_truth,
+            actual_normals: total_positions - n_truth,
         }
     }
 
@@ -425,6 +494,25 @@ mod tests {
         assert_eq!(a.false_negatives, 1);
         assert_eq!(a.actual_silences, 2);
         assert_eq!(a.actual_normals, 18);
+    }
+
+    #[test]
+    fn evaluate_sorted_matches_hash_evaluation() {
+        let cases: &[(&[usize], &[usize], usize)] = &[
+            (&[0, 5, 9], &[0, 5, 7], 100),
+            (&[], &[], 10),
+            (&[1, 2, 3], &[], 10),
+            (&[], &[4, 8], 12),
+            (&[0, 1, 2, 2, 5], &[2, 2, 5, 6], 20), // duplicates coalesce
+            (&[3], &[3], 4),
+        ];
+        for &(det, truth, total) in cases {
+            assert_eq!(
+                DetectionAccuracy::evaluate_sorted(det, truth, total),
+                DetectionAccuracy::evaluate(det, truth, total),
+                "det={det:?} truth={truth:?}"
+            );
+        }
     }
 
     #[test]

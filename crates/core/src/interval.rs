@@ -61,13 +61,26 @@ impl IntervalCodec {
     /// Panics if `bits.len()` is not a multiple of `k` or a bit is not
     /// 0/1.
     pub fn encode(&self, bits: &[u8]) -> Vec<usize> {
+        let mut positions = Vec::with_capacity(1 + bits.len() / self.bits_per_interval);
+        self.encode_into(bits, &mut positions);
+        positions
+    }
+
+    /// Workspace variant of [`encode`](Self::encode): clears `positions`
+    /// and writes the silence positions into it, reusing its capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `k` or a bit is not
+    /// 0/1.
+    pub fn encode_into(&self, bits: &[u8], positions: &mut Vec<usize>) {
         let k = self.bits_per_interval;
         assert!(
             bits.len().is_multiple_of(k),
             "control message length {} is not a multiple of k = {k}",
             bits.len()
         );
-        let mut positions = Vec::with_capacity(1 + bits.len() / k);
+        positions.clear();
         positions.push(0);
         let mut cursor = 0usize;
         for group in bits.chunks_exact(k) {
@@ -81,7 +94,6 @@ impl IntervalCodec {
             cursor += value + 1;
             positions.push(cursor);
         }
-        positions
     }
 
     /// Decodes silence positions (sorted ascending) back into control
@@ -91,24 +103,34 @@ impl IntervalCodec {
     /// Returns `None` if positions are not strictly increasing or a gap
     /// exceeds the maximum interval (detection corruption).
     pub fn decode(&self, positions: &[usize]) -> Option<Vec<u8>> {
+        let mut bits = Vec::new();
+        self.decode_into(positions, &mut bits).then_some(bits)
+    }
+
+    /// Workspace variant of [`decode`](Self::decode): clears `bits` and
+    /// writes the decoded control bits into it, reusing its capacity.
+    /// Returns `false` (with `bits` left unspecified) on the same inputs
+    /// for which [`decode`](Self::decode) returns `None`.
+    pub fn decode_into(&self, positions: &[usize], bits: &mut Vec<u8>) -> bool {
+        bits.clear();
         if positions.len() < 2 {
-            return Some(Vec::new());
+            return true;
         }
         let k = self.bits_per_interval;
-        let mut bits = Vec::with_capacity((positions.len() - 1) * k);
+        bits.reserve((positions.len() - 1) * k);
         for pair in positions.windows(2) {
             if pair[1] <= pair[0] {
-                return None;
+                return false;
             }
             let value = pair[1] - pair[0] - 1;
             if value > self.max_interval() {
-                return None;
+                return false;
             }
             for i in 0..k {
                 bits.push(((value >> (k - 1 - i)) & 1) as u8);
             }
         }
-        Some(bits)
+        true
     }
 
     /// Number of control positions consumed by encoding `bits`
@@ -223,5 +245,20 @@ mod tests {
     #[should_panic(expected = "multiple of k")]
     fn ragged_message_panics() {
         IntervalCodec::default().encode(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let codec = IntervalCodec::default();
+        let bits = [0, 0, 1, 0, 0, 1, 1, 0];
+        let mut positions = vec![99usize; 32];
+        codec.encode_into(&bits, &mut positions);
+        assert_eq!(positions, codec.encode(&bits));
+        let mut decoded = vec![7u8; 32];
+        assert!(codec.decode_into(&positions, &mut decoded));
+        assert_eq!(codec.decode(&positions).as_ref(), Some(&decoded));
+        // Invalid positions report failure through the bool.
+        assert!(!codec.decode_into(&[5, 3], &mut decoded));
+        assert_eq!(codec.decode(&[5, 3]), None);
     }
 }

@@ -41,7 +41,11 @@
 //! * [`resilience`] — the fault-tolerance layer: control-message ARQ,
 //!   detector-threshold recalibration, and the degraded-mode state
 //!   machine that falls back to plain data transmission when the control
-//!   channel stops working (see `docs/ROBUSTNESS.md`).
+//!   channel stops working (see `docs/ROBUSTNESS.md`),
+//! * [`engine`] — the batched multi-session engine: a generational
+//!   [`SessionPool`](engine::SessionPool) plus a
+//!   [`BatchEngine`](engine::BatchEngine) that shards frame jobs across
+//!   worker threads with byte-identical outcomes at any thread count.
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@ pub mod baseline;
 pub mod control_rate;
 pub mod duplex;
 pub mod energy_detector;
+pub mod engine;
 pub mod feedback;
 pub mod interval;
 pub mod messages;
@@ -69,12 +74,18 @@ pub mod validation;
 
 pub use control_rate::ControlRateTable;
 pub use energy_detector::EnergyDetector;
+pub use engine::{
+    configured_threads, run_indexed, BatchEngine, ControlId, EngineConfig, JobOutcome, JobResult,
+    PayloadId, SessionId, SessionPool,
+};
 pub use interval::IntervalCodec;
 pub use power_controller::PowerController;
 pub use resilience::{
     ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition, PhyErrorTally,
     ResilienceConfig, ThresholdRecalibrator,
 };
-pub use session::{CosSession, ResilientReport, SessionConfig};
+pub use session::{
+    CosSession, PacketSummary, ResilientReport, ResilientSummary, SessionConfig,
+};
 pub use subcarrier_select::{select_control_subcarriers, SelectionPolicy};
 pub use validation::sanitize_selection;

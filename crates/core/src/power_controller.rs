@@ -87,6 +87,31 @@ impl PowerController {
         selected: &[usize],
         control_bits: &[u8],
     ) -> Result<Vec<usize>, EmbedError> {
+        let mut positions = Vec::new();
+        self.embed_into(frame, selected, control_bits, &mut positions)?;
+        Ok(positions)
+    }
+
+    /// Workspace variant of [`embed`](Self::embed): writes the silenced
+    /// positions into `positions`, reusing its capacity. On `Err` the
+    /// contents of `positions` are unspecified and the frame is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`EmbedError`] if no subcarriers are selected or the message does
+    /// not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` contains out-of-range or unsorted/duplicate
+    /// indices, or `control_bits` violates the codec's length contract.
+    pub fn embed_into(
+        &self,
+        frame: &mut TxFrame,
+        selected: &[usize],
+        control_bits: &[u8],
+        positions: &mut Vec<usize>,
+    ) -> Result<(), EmbedError> {
         if selected.is_empty() {
             return Err(EmbedError::NoControlSubcarriers);
         }
@@ -98,17 +123,17 @@ impl PowerController {
             "selected subcarrier out of range"
         );
 
-        let positions = self.codec.encode(control_bits);
+        self.codec.encode_into(control_bits, positions);
         let have = frame.n_data_symbols() * selected.len();
         let need = positions.last().expect("start marker always present") + 1;
         if need > have {
             return Err(EmbedError::MessageTooLong { need, have });
         }
-        for &p in &positions {
+        for &p in positions.iter() {
             let (symbol, sc) = Self::position_to_coords(p, selected);
             frame.silence(symbol, sc);
         }
-        Ok(positions)
+        Ok(())
     }
 
     /// The maximum number of random control bits that fit into a frame

@@ -22,8 +22,8 @@ use crate::resilience::{
     corrupt_selection, ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition,
     PacketObservation, PhyErrorTally, ResilienceConfig, ThresholdRecalibrator,
 };
-use crate::subcarrier_select::{select_control_subcarriers, SelectionPolicy};
-use crate::validation::{sanitize_selection, validate_silences};
+use crate::subcarrier_select::{select_control_subcarriers_into, SelectionPolicy};
+use crate::validation::{sanitize_selection, validate_silences_into};
 use cos_channel::{ChannelConfig, FaultEngine, FeedbackFate, Link};
 use cos_phy::error::PhyError;
 use cos_phy::evm::{per_subcarrier_evm, reconstruct_points_into};
@@ -116,28 +116,122 @@ pub struct ResilientReport {
 }
 
 /// What the receiver computed for one packet, before the sender-side
-/// feedback loop is applied.
+/// feedback loop is applied. Plain `Copy` metadata: the variable-length
+/// results (decoded control bits, feedback selection) live in the
+/// session's [`SessionScratch`], gated by `control_present` /
+/// `feedback`.
+#[derive(Debug, Clone, Copy)]
 struct Transceived {
     data_ok: bool,
     front_end_ok: bool,
-    control: Option<Vec<u8>>,
+    /// The detected silence pattern decoded to a valid control message,
+    /// now in `SessionScratch::control`.
+    control_present: bool,
     control_ok: bool,
     silences_sent: usize,
     accuracy: DetectionAccuracy,
     measured: f64,
     rate: DataRate,
     phy_error: Option<PhyError>,
-    feedback: Option<TransceivedFeedback>,
+    feedback: Option<FeedbackMeta>,
 }
 
-/// The feedback report the receiver would send (exists only on CRC pass).
-struct TransceivedFeedback {
-    selection: Vec<usize>,
+/// The fixed-size part of the feedback report the receiver would send
+/// (exists only on CRC pass); the selection itself is in
+/// `SessionScratch::fb_selection`.
+#[derive(Debug, Clone, Copy)]
+struct FeedbackMeta {
     measured_snr_db: f64,
     /// Energy detections rejected by coherent validation — false alarms.
     false_alarms: usize,
     /// Non-silence control positions in the frame.
     normal_positions: usize,
+}
+
+/// Per-packet variable-length results, owned by the session so the hot
+/// path never allocates: every field is fully overwritten (or explicitly
+/// gated off by a `Transceived` flag) each packet.
+#[derive(Debug, Clone, Default)]
+struct SessionScratch {
+    /// Silence positions actually embedded (ground truth).
+    truth: Vec<usize>,
+    /// Coherently validated silence positions (CRC-pass refinement).
+    refined: Vec<usize>,
+    /// Decoded control bits (valid when `Transceived::control_present`).
+    control: Vec<u8>,
+    /// The receiver's next-packet subcarrier selection (valid when
+    /// `Transceived::feedback` is `Some`).
+    fb_selection: Vec<usize>,
+}
+
+/// FNV-1a over a byte stream — the summary types' byte-identity proxy.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Fixed-size (`Copy`) outcome of one packet, for batch processing where
+/// per-packet heap results would defeat the zero-allocation engine. The
+/// variable-length fields of [`PacketReport`] are represented by FNV-1a
+/// digests: equal summaries ⇔ byte-identical reports (up to hash
+/// collisions, which determinism tests treat as impossible in practice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketSummary {
+    /// Did the data packet pass its CRC?
+    pub data_ok: bool,
+    /// Did the silence pattern decode to a control message at all?
+    pub control_present: bool,
+    /// Did the control message arrive exactly as sent?
+    pub control_ok: bool,
+    /// Silence symbols inserted.
+    pub silences_sent: usize,
+    /// Detection accuracy against the transmitted silence pattern.
+    pub detection: DetectionAccuracy,
+    /// The receiver's measured SNR for this packet (dB).
+    pub measured_snr_db: f64,
+    /// Rate the packet was sent at.
+    pub rate: DataRate,
+    /// Number of control subcarriers in force after the feedback loop.
+    pub selected_len: usize,
+    /// FNV-1a digest of the post-feedback selection indices.
+    pub selected_hash: u64,
+    /// FNV-1a digest of the decoded control bits (0 when absent).
+    pub control_hash: u64,
+}
+
+/// Fixed-size (`Copy`) outcome of one resilient-path packet, mirroring
+/// [`ResilientReport`] the way [`PacketSummary`] mirrors [`PacketReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientSummary {
+    /// The underlying packet outcome.
+    pub packet: PacketSummary,
+    /// Mode this packet was sent in.
+    pub mode: LinkMode,
+    /// Mode the next packet will be sent in.
+    pub mode_after: LinkMode,
+    /// Whether control silences were embedded (Cos/Probing modes).
+    pub control_attempted: bool,
+    /// Whether the sender received confirmation of the control message.
+    pub control_acked: bool,
+    /// Whether a feedback report reached the sender this packet.
+    pub feedback_delivered: bool,
+    /// Kind label of the receive-chain error, if one occurred.
+    pub phy_error: Option<&'static str>,
+}
+
+/// The resilient path's outcome before report/summary packaging.
+#[derive(Debug, Clone, Copy)]
+struct ResilientCore {
+    t: Transceived,
+    mode: LinkMode,
+    mode_after: LinkMode,
+    attempted: bool,
+    acked: bool,
+    delivered: bool,
 }
 
 /// A stored feedback report (for serving stale deliveries).
@@ -191,6 +285,9 @@ pub struct CosSession {
     thresholds: Vec<f64>,
     /// The per-packet (possibly expanded) working copy of `selected`.
     sel_scratch: Vec<usize>,
+    /// Per-packet variable-length results (truth/refined positions,
+    /// decoded control, feedback selection).
+    xs: SessionScratch,
 }
 
 impl CosSession {
@@ -225,8 +322,39 @@ impl CosSession {
             det: Detection::default(),
             thresholds: Vec::new(),
             sel_scratch: Vec::new(),
+            xs: SessionScratch::default(),
             config,
         }
+    }
+
+    /// Resets the session to the state [`CosSession::new`]`(config, seed)`
+    /// would produce, while keeping every scratch buffer's capacity — the
+    /// pool-recycling entry point. A recycled session is behaviourally
+    /// indistinguishable from a fresh one because every `*_into` stage
+    /// fully overwrites its outputs (see `docs/ARCHITECTURE.md`).
+    pub fn reinit(&mut self, config: SessionConfig, seed: u64) {
+        let codec = IntervalCodec::new(config.bits_per_interval);
+        self.link = Link::new(config.channel, config.snr_db, seed);
+        self.selected.clear();
+        self.selected.extend(9..9 + config.min_control_subcarriers.max(1));
+        self.rate = config.rate.unwrap_or(DataRate::Mbps12);
+        self.resilience = config.resilience.clone().map(|cfg| ResilienceState {
+            arq: ControlArq::new(&cfg),
+            recal: ThresholdRecalibrator::new(config.detector_bias_db, &cfg),
+            ctrl: DegradedModeController::new(cfg),
+            tally: PhyErrorTally::new(),
+            history: VecDeque::new(),
+        });
+        self.detector = EnergyDetector::new(config.detector_bias_db);
+        self.controller = PowerController::new(codec);
+        self.adapter = ControlRateAdapter::new(ControlRateTable::default());
+        self.seq = 0;
+        self.config = config;
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// The control subcarriers currently in force.
@@ -328,11 +456,16 @@ impl CosSession {
         // `selected` stays the receiver's last report.
         self.sel_scratch.clear();
         self.sel_scratch.extend_from_slice(&self.selected);
-        let truth = if embed_control {
+        self.xs.truth.clear();
+        if embed_control {
             loop {
-                match self.controller.embed(&mut self.ws.tx.frame, &self.sel_scratch, control_bits)
-                {
-                    Ok(positions) => break positions,
+                match self.controller.embed_into(
+                    &mut self.ws.tx.frame,
+                    &self.sel_scratch,
+                    control_bits,
+                    &mut self.xs.truth,
+                ) {
+                    Ok(()) => break,
                     Err(EmbedError::NoControlSubcarriers) => {
                         panic!("session always keeps a non-empty selection")
                     }
@@ -349,10 +482,8 @@ impl CosSession {
                     }
                 }
             }
-        } else {
-            Vec::new()
-        };
-        let silences_sent = truth.len();
+        }
+        let silences_sent = self.xs.truth.len();
 
         // Air: render the waveform and land the channel output straight
         // in the receive workspace.
@@ -367,106 +498,100 @@ impl CosSession {
         // session-owned scratch.
         let result = match self.phy_rx.front_end_into(&self.ws.rx.samples, &mut self.ws.rx.fe) {
             Ok(()) => {
+                // Split-borrow the session so the detector, PHY workspace
+                // and per-packet scratch can be used side by side without
+                // intermediate allocations.
+                let CosSession {
+                    detector, phy_rx, controller, config, ws, ref_tx, det, thresholds,
+                    sel_scratch, xs, ..
+                } = &mut *self;
+                let codec = *controller.codec();
                 if embed_control {
-                    self.detector.detect_into(
-                        &self.ws.rx.fe,
-                        &self.sel_scratch,
-                        &mut self.thresholds,
-                        &mut self.det,
-                    );
+                    detector.detect_into(&ws.rx.fe, sel_scratch, thresholds, det);
                 }
-                let total = self.ws.rx.fe.raw_symbols.len() * self.sel_scratch.len();
+                let total = ws.rx.fe.raw_symbols.len() * sel_scratch.len();
+                // Decoded control bits are bounded by one interval per
+                // control slot; reserving that bound here keeps the two
+                // `decode_into` calls below reallocation-free even on
+                // frames with record silence counts.
+                xs.control.reserve(total.saturating_sub(1) * codec.bits_per_interval());
                 let mut accuracy = if embed_control {
-                    DetectionAccuracy::evaluate(&self.det.positions, &truth, total)
+                    DetectionAccuracy::evaluate_sorted(&det.positions, &xs.truth, total)
                 } else {
                     DetectionAccuracy::default()
                 };
-                let erasures = embed_control.then_some(self.det.erasures.as_slice());
-                self.phy_rx.decode_into(
-                    &self.ws.rx.fe,
-                    erasures,
-                    &mut self.ws.rx.scratch,
-                    &mut self.ws.rx.out,
-                );
-                let mut control = if embed_control {
-                    self.det.control_bits(self.controller.codec())
-                } else {
-                    None
-                };
-                let measured = self.ws.rx.fe.measured_snr_db();
+                let erasures = embed_control.then_some(det.erasures.as_slice());
+                phy_rx.decode_into(&ws.rx.fe, erasures, &mut ws.rx.scratch, &mut ws.rx.out);
+                let mut control_present =
+                    embed_control && det.control_bits_into(&codec, &mut xs.control);
+                let measured = ws.rx.fe.measured_snr_db();
 
                 // Feedback loop: EVM-based subcarrier selection for the
                 // next packet, valid only when the CRC passed. The same
                 // point reconstruction also refines the control message by
                 // coherent silence validation (inner QAM points stop
                 // masquerading as silences).
-                let next_rate = self.config.rate.unwrap_or_else(|| DataRate::select(measured));
+                let next_rate = config.rate.unwrap_or_else(|| DataRate::select(measured));
                 let mut feedback = None;
-                if let (true, Some(seed)) =
-                    (self.ws.rx.out.crc_ok, self.ws.rx.out.scrambler_seed)
-                {
-                    let reference = reconstruct_points_into(
-                        &self.ws.rx.out.payload,
-                        rate,
-                        seed,
-                        &mut self.ref_tx,
-                    );
+                if let (true, Some(seed)) = (ws.rx.out.crc_ok, ws.rx.out.scrambler_seed) {
+                    let reference =
+                        reconstruct_points_into(&ws.rx.out.payload, rate, seed, ref_tx);
                     let mut false_alarms = 0;
                     let mut normal_positions = 0;
                     if embed_control {
-                        let refined =
-                            validate_silences(&self.ws.rx.fe, &self.sel_scratch, reference);
-                        accuracy = DetectionAccuracy::evaluate(&refined, &truth, total);
-                        control = self.controller.codec().decode(&refined);
+                        validate_silences_into(&ws.rx.fe, sel_scratch, reference, &mut xs.refined);
+                        accuracy = DetectionAccuracy::evaluate_sorted(&xs.refined, &xs.truth, total);
+                        control_present = codec.decode_into(&xs.refined, &mut xs.control);
                         false_alarms =
-                            self.det.positions.iter().filter(|p| !refined.contains(p)).count();
-                        normal_positions = total - refined.len();
+                            det.positions.iter().filter(|p| !xs.refined.contains(p)).count();
+                        normal_positions = total - xs.refined.len();
                     }
                     let evm = per_subcarrier_evm(
-                        &self.ws.rx.fe.equalized,
+                        &ws.rx.fe.equalized,
                         reference,
                         rate.modulation(),
                         erasures,
                     );
-                    let snrs = self.ws.rx.fe.per_subcarrier_snr();
+                    let snrs = ws.rx.fe.per_subcarrier_snr();
                     let mut snr_db = [0.0f64; NUM_DATA];
                     for (slot, &s) in snr_db.iter_mut().zip(snrs.iter()) {
                         *slot = cos_dsp::linear_to_db(s.max(1e-12));
                     }
-                    let selection = select_control_subcarriers(
+                    select_control_subcarriers_into(
                         &evm,
                         &snr_db,
                         SelectionPolicy::weak_by_evm(
                             next_rate.modulation(),
-                            self.config.min_control_subcarriers,
+                            config.min_control_subcarriers,
                         ),
+                        &mut xs.fb_selection,
                     );
-                    feedback = Some(TransceivedFeedback {
-                        selection,
+                    feedback = Some(FeedbackMeta {
                         measured_snr_db: measured,
                         false_alarms,
                         normal_positions,
                     });
                 }
 
-                let control_ok = embed_control && control.as_deref() == Some(control_bits);
+                let control_ok =
+                    embed_control && control_present && xs.control.as_slice() == control_bits;
                 Transceived {
-                    data_ok: self.ws.rx.out.crc_ok,
+                    data_ok: ws.rx.out.crc_ok,
                     front_end_ok: true,
-                    control,
+                    control_present,
                     control_ok,
                     silences_sent,
                     accuracy,
                     measured,
                     rate,
-                    phy_error: self.ws.rx.out.decode_error,
+                    phy_error: ws.rx.out.decode_error,
                     feedback,
                 }
             }
             Err(e) => Transceived {
                 data_ok: false,
                 front_end_ok: false,
-                control: None,
+                control_present: false,
                 control_ok: false,
                 silences_sent,
                 accuracy: DetectionAccuracy::default(),
@@ -489,6 +614,55 @@ impl CosSession {
         self.rate = self.config.rate.unwrap_or_else(|| DataRate::select(measured_snr_db));
     }
 
+    /// Applies the feedback report sitting in `xs.fb_selection` by
+    /// swapping it into `selected` — the allocation-free twin of
+    /// [`apply_feedback`](Self::apply_feedback). Only valid right after a
+    /// transceive that produced `feedback: Some(_)`.
+    fn apply_feedback_from_scratch(&mut self, measured_snr_db: f64) {
+        std::mem::swap(&mut self.selected, &mut self.xs.fb_selection);
+        self.adapter.feedback(measured_snr_db);
+        self.rate = self.config.rate.unwrap_or_else(|| DataRate::select(measured_snr_db));
+    }
+
+    /// The sender-side feedback application of the paper's plain loop,
+    /// shared by [`send_packet`](Self::send_packet) and
+    /// [`send_packet_summary`](Self::send_packet_summary).
+    fn finish_plain(&mut self, t: &Transceived) {
+        if t.front_end_ok {
+            if let Some(fb) = t.feedback {
+                std::mem::swap(&mut self.selected, &mut self.xs.fb_selection);
+                self.adapter.feedback(fb.measured_snr_db);
+            } else {
+                self.adapter.transmission_failed();
+            }
+            self.rate = self.config.rate.unwrap_or_else(|| DataRate::select(t.measured));
+        } else {
+            self.adapter.transmission_failed();
+        }
+    }
+
+    /// Builds the fixed-size summary of the packet just transceived.
+    fn summarize(&self, t: &Transceived) -> PacketSummary {
+        PacketSummary {
+            data_ok: t.data_ok,
+            control_present: t.control_present,
+            control_ok: t.control_ok,
+            silences_sent: t.silences_sent,
+            detection: t.accuracy,
+            measured_snr_db: t.measured,
+            rate: t.rate,
+            selected_len: self.selected.len(),
+            selected_hash: fnv1a(
+                self.selected.iter().flat_map(|&sc| (sc as u64).to_le_bytes()),
+            ),
+            control_hash: if t.control_present {
+                fnv1a(self.xs.control.iter().copied())
+            } else {
+                0
+            },
+        }
+    }
+
     /// Sends one data packet with `control_bits` embedded as silence
     /// symbols; runs the complete receive pipeline and feedback loop,
     /// trusting every feedback report (the paper's loop).
@@ -499,20 +673,10 @@ impl CosSession {
     /// `k` or the message exceeds the frame capacity.
     pub fn send_packet(&mut self, payload: &[u8], control_bits: &[u8]) -> PacketReport {
         let t = self.transceive(payload, control_bits, true);
-        if t.front_end_ok {
-            if let Some(fb) = t.feedback {
-                self.selected = fb.selection;
-                self.adapter.feedback(fb.measured_snr_db);
-            } else {
-                self.adapter.transmission_failed();
-            }
-            self.rate = self.config.rate.unwrap_or_else(|| DataRate::select(t.measured));
-        } else {
-            self.adapter.transmission_failed();
-        }
+        self.finish_plain(&t);
         PacketReport {
             data_ok: t.data_ok,
-            control_bits: t.control,
+            control_bits: t.control_present.then(|| self.xs.control.clone()),
             control_ok: t.control_ok,
             silences_sent: t.silences_sent,
             detection: t.accuracy,
@@ -522,12 +686,69 @@ impl CosSession {
         }
     }
 
+    /// [`send_packet`](Self::send_packet) returning the fixed-size
+    /// [`PacketSummary`] instead of an owned report: identical sender
+    /// state evolution, zero heap allocations at steady state — the batch
+    /// engine's per-job entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control_bits` length is not a multiple of the codec's
+    /// `k` or the message exceeds the frame capacity.
+    pub fn send_packet_summary(&mut self, payload: &[u8], control_bits: &[u8]) -> PacketSummary {
+        let t = self.transceive(payload, control_bits, true);
+        self.finish_plain(&t);
+        self.summarize(&t)
+    }
+
     /// Sends one data packet through the resilience layer: control bits
     /// come from the ARQ queue (see [`CosSession::queue_control`]), the
     /// feedback report passes through the link's fault engine, and the
     /// degraded-mode state machine decides whether silences are embedded
     /// at all.
     pub fn send_packet_resilient(&mut self, payload: &[u8]) -> ResilientReport {
+        let c = self.send_resilient_core(payload);
+        ResilientReport {
+            packet: PacketReport {
+                data_ok: c.t.data_ok,
+                control_bits: c.t.control_present.then(|| self.xs.control.clone()),
+                control_ok: c.t.control_ok,
+                silences_sent: c.t.silences_sent,
+                detection: c.t.accuracy,
+                measured_snr_db: c.t.measured,
+                rate: c.t.rate,
+                selected: self.selected.clone(),
+            },
+            mode: c.mode,
+            mode_after: c.mode_after,
+            control_attempted: c.attempted,
+            control_acked: c.acked,
+            feedback_delivered: c.delivered,
+            phy_error: c.t.phy_error.map(|e| e.kind()),
+        }
+    }
+
+    /// [`send_packet_resilient`](Self::send_packet_resilient) returning
+    /// the fixed-size [`ResilientSummary`]: identical state evolution,
+    /// no owned report. (The resilient path itself is not allocation-free
+    /// — the ARQ queue clones its head message — but the summary adds
+    /// nothing on top.)
+    pub fn send_packet_resilient_summary(&mut self, payload: &[u8]) -> ResilientSummary {
+        let c = self.send_resilient_core(payload);
+        ResilientSummary {
+            packet: self.summarize(&c.t),
+            mode: c.mode,
+            mode_after: c.mode_after,
+            control_attempted: c.attempted,
+            control_acked: c.acked,
+            feedback_delivered: c.delivered,
+            phy_error: c.t.phy_error.map(|e| e.kind()),
+        }
+    }
+
+    /// The shared resilient-path core: ARQ poll, transceive, fault-gated
+    /// feedback application, recalibration and mode bookkeeping.
+    fn send_resilient_core(&mut self, payload: &[u8]) -> ResilientCore {
         self.ensure_resilience();
         let mut state = self.resilience.take().expect("just ensured");
 
@@ -550,12 +771,12 @@ impl CosSession {
         }
 
         let mut delivered = false;
-        match &t.feedback {
+        match t.feedback {
             Some(fb) => {
                 // The receiver generated a report; remember the truth for
                 // later stale deliveries regardless of this packet's fate.
                 state.history.push_front(HistoryEntry {
-                    selection: fb.selection.clone(),
+                    selection: self.xs.fb_selection.clone(),
                     measured_snr_db: fb.measured_snr_db,
                 });
                 state.history.truncate(FEEDBACK_HISTORY);
@@ -569,7 +790,7 @@ impl CosSession {
 
                 match fate {
                     FeedbackFate::Deliver => {
-                        self.apply_feedback(fb.selection.clone(), fb.measured_snr_db);
+                        self.apply_feedback_from_scratch(fb.measured_snr_db);
                         delivered = true;
                     }
                     FeedbackFate::Drop => {
@@ -586,7 +807,7 @@ impl CosSession {
                         }
                     }
                     FeedbackFate::Corrupt { xor_mask } => {
-                        let mut sel = corrupt_selection(&fb.selection, xor_mask);
+                        let mut sel = corrupt_selection(&self.xs.fb_selection, xor_mask);
                         sanitize_selection(&mut sel, self.config.min_control_subcarriers);
                         self.apply_feedback(sel, fb.measured_snr_db);
                         delivered = true;
@@ -622,24 +843,7 @@ impl CosSession {
         let mode_after = state.ctrl.mode();
         self.resilience = Some(state);
 
-        ResilientReport {
-            packet: PacketReport {
-                data_ok: t.data_ok,
-                control_bits: t.control,
-                control_ok: t.control_ok,
-                silences_sent: t.silences_sent,
-                detection: t.accuracy,
-                measured_snr_db: t.measured,
-                rate: t.rate,
-                selected: self.selected.clone(),
-            },
-            mode,
-            mode_after,
-            control_attempted: attempted,
-            control_acked: acked,
-            feedback_delivered: delivered,
-            phy_error: t.phy_error.map(|e| e.kind()),
-        }
+        ResilientCore { t, mode, mode_after, attempted, acked, delivered }
     }
     /// Bounds the session's control-subcarrier selection to the 48 data
     /// subcarriers, in place: out-of-range indices are dropped, duplicates

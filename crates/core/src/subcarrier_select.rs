@@ -107,70 +107,137 @@ pub fn select_control_subcarriers(
     snr_db: &[f64; NUM_DATA],
     policy: SelectionPolicy,
 ) -> Vec<usize> {
+    let mut out = Vec::new();
+    select_control_subcarriers_into(evm, snr_db, policy, &mut out);
+    out
+}
+
+/// Stable insertion sort over a small index slice: with `before(a, b)`
+/// mirroring a `sort_by` comparator's `Less`, the output permutation is
+/// identical to the standard library's stable sort — but on ≤ 48 elements
+/// it needs no allocation.
+fn stable_sort_indices(xs: &mut [usize], mut before: impl FnMut(usize, usize) -> bool) {
+    for i in 1..xs.len() {
+        let mut j = i;
+        while j > 0 && before(xs[j], xs[j - 1]) {
+            xs.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
+/// Workspace variant of [`select_control_subcarriers`]: clears `out` and
+/// writes the sorted selection into it, reusing its capacity. The
+/// `WeakByEvm`/`WeakestN`/`Random`/`Contiguous` candidate scratch lives on
+/// the stack (at most [`NUM_DATA`] indices), so steady-state calls do not
+/// allocate; results are identical to the owned API because the fill
+/// ordering uses a stable sort with the same comparators.
+///
+/// # Panics
+///
+/// Panics if a policy's parameters exceed the 48 data subcarriers.
+pub fn select_control_subcarriers_into(
+    evm: &[f64; NUM_DATA],
+    snr_db: &[f64; NUM_DATA],
+    policy: SelectionPolicy,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     match policy {
         SelectionPolicy::WeakByEvm { modulation, min, detect_floor_db } => {
             assert!(min <= NUM_DATA, "cannot select {min} of {NUM_DATA} subcarriers");
             let threshold = modulation.min_distance() / 2.0;
-            let detectable = |sc: &usize| snr_db[*sc] >= detect_floor_db;
-            let mut selected: Vec<usize> = (0..NUM_DATA)
-                .filter(|&sc| evm[sc] > threshold)
-                .filter(detectable)
-                .collect();
-            if selected.len() < min {
+            out.extend(
+                (0..NUM_DATA).filter(|&sc| evm[sc] > threshold && snr_db[sc] >= detect_floor_db),
+            );
+            if out.len() < min {
                 // Fill with the weakest detectable subcarriers; if the
                 // whole channel is undetectable, fall back to the
                 // strongest subcarriers (best effort).
-                let mut candidates: Vec<usize> =
-                    (0..NUM_DATA).filter(detectable).filter(|sc| !selected.contains(sc)).collect();
-                candidates.sort_by(|&a, &b| evm[b].total_cmp(&evm[a]));
-                for sc in candidates {
-                    if selected.len() >= min {
+                let mut cand = [0usize; NUM_DATA];
+                let mut n_cand = 0usize;
+                for (sc, &snr) in snr_db.iter().enumerate() {
+                    if snr >= detect_floor_db && !out.contains(&sc) {
+                        cand[n_cand] = sc;
+                        n_cand += 1;
+                    }
+                }
+                stable_sort_indices(&mut cand[..n_cand], |a, b| {
+                    evm[a].total_cmp(&evm[b]) == std::cmp::Ordering::Greater
+                });
+                for &sc in &cand[..n_cand] {
+                    if out.len() >= min {
                         break;
                     }
-                    selected.push(sc);
+                    out.push(sc);
                 }
             }
-            if selected.len() < min {
-                let mut by_snr: Vec<usize> =
-                    (0..NUM_DATA).filter(|sc| !selected.contains(sc)).collect();
-                by_snr.sort_by(|&a, &b| snr_db[b].total_cmp(&snr_db[a]));
-                for sc in by_snr {
-                    if selected.len() >= min {
+            if out.len() < min {
+                let mut cand = [0usize; NUM_DATA];
+                let mut n_cand = 0usize;
+                for sc in 0..NUM_DATA {
+                    if !out.contains(&sc) {
+                        cand[n_cand] = sc;
+                        n_cand += 1;
+                    }
+                }
+                stable_sort_indices(&mut cand[..n_cand], |a, b| {
+                    snr_db[a].total_cmp(&snr_db[b]) == std::cmp::Ordering::Greater
+                });
+                for &sc in &cand[..n_cand] {
+                    if out.len() >= min {
                         break;
                     }
-                    selected.push(sc);
+                    out.push(sc);
                 }
             }
-            selected.sort_unstable();
-            selected
+            out.sort_unstable();
         }
         SelectionPolicy::WeakestN { n, detect_floor_db } => {
             assert!(n <= NUM_DATA, "cannot select {n} of {NUM_DATA} subcarriers");
-            let mut candidates: Vec<usize> =
-                (0..NUM_DATA).filter(|&sc| snr_db[sc] >= detect_floor_db).collect();
-            candidates.sort_by(|&a, &b| evm[b].total_cmp(&evm[a]));
-            let mut selected: Vec<usize> = candidates.into_iter().take(n).collect();
-            if selected.len() < n {
-                let mut by_snr: Vec<usize> =
-                    (0..NUM_DATA).filter(|sc| !selected.contains(sc)).collect();
-                by_snr.sort_by(|&a, &b| snr_db[b].total_cmp(&snr_db[a]));
-                selected.extend(by_snr.into_iter().take(n - selected.len()));
+            let mut cand = [0usize; NUM_DATA];
+            let mut n_cand = 0usize;
+            for (sc, &snr) in snr_db.iter().enumerate() {
+                if snr >= detect_floor_db {
+                    cand[n_cand] = sc;
+                    n_cand += 1;
+                }
             }
-            selected.sort_unstable();
-            selected
+            stable_sort_indices(&mut cand[..n_cand], |a, b| {
+                evm[a].total_cmp(&evm[b]) == std::cmp::Ordering::Greater
+            });
+            out.extend_from_slice(&cand[..n_cand.min(n)]);
+            if out.len() < n {
+                let mut fill = [0usize; NUM_DATA];
+                let mut n_fill = 0usize;
+                for sc in 0..NUM_DATA {
+                    if !out.contains(&sc) {
+                        fill[n_fill] = sc;
+                        n_fill += 1;
+                    }
+                }
+                stable_sort_indices(&mut fill[..n_fill], |a, b| {
+                    snr_db[a].total_cmp(&snr_db[b]) == std::cmp::Ordering::Greater
+                });
+                let take = (n - out.len()).min(n_fill);
+                out.extend_from_slice(&fill[..take]);
+            }
+            out.sort_unstable();
         }
         SelectionPolicy::Random { n, seed } => {
             assert!(n <= NUM_DATA, "cannot select {n} of {NUM_DATA} subcarriers");
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut all: Vec<usize> = (0..NUM_DATA).collect();
+            let mut all = [0usize; NUM_DATA];
+            for (sc, slot) in all.iter_mut().enumerate() {
+                *slot = sc;
+            }
             all.shuffle(&mut rng);
-            let mut selected: Vec<usize> = all.into_iter().take(n).collect();
-            selected.sort_unstable();
-            selected
+            out.extend_from_slice(&all[..n]);
+            out.sort_unstable();
         }
         SelectionPolicy::Contiguous { start, n } => {
             assert!(start + n <= NUM_DATA, "contiguous block [{start}, {}) out of range", start + n);
-            (start..start + n).collect()
+            out.extend(start..start + n);
         }
     }
 }
@@ -306,6 +373,33 @@ mod tests {
             for w in s.windows(2) {
                 assert!(w[0] < w[1], "{policy:?}");
             }
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_owned_on_dirty_buffers() {
+        let evm = {
+            let mut e = [0.0f64; NUM_DATA];
+            for (sc, slot) in e.iter_mut().enumerate() {
+                *slot = ((sc * 13) % 23) as f64 * 0.02;
+            }
+            e
+        };
+        let mut snr = snr_flat(18.0);
+        snr[7] = 4.0;
+        snr[31] = -3.0;
+        let mut out = vec![99usize; 48]; // dirty scratch
+        for policy in [
+            SelectionPolicy::weak_by_evm(Modulation::Qam64, 6),
+            SelectionPolicy::weak_by_evm(Modulation::Qpsk, 10),
+            SelectionPolicy::WeakByEvm { modulation: Modulation::Qam16, min: 48, detect_floor_db: 13.0 },
+            SelectionPolicy::WeakestN { n: 12, detect_floor_db: 13.0 },
+            SelectionPolicy::WeakestN { n: 48, detect_floor_db: 40.0 },
+            SelectionPolicy::Random { n: 9, seed: 11 },
+            SelectionPolicy::Contiguous { start: 9, n: 8 },
+        ] {
+            select_control_subcarriers_into(&evm, &snr, policy, &mut out);
+            assert_eq!(out, select_control_subcarriers(&evm, &snr, policy), "{policy:?}");
         }
     }
 

@@ -57,6 +57,25 @@ pub fn validate_silences(
     selected: &[usize],
     reference: &[[Complex; NUM_DATA]],
 ) -> Vec<usize> {
+    let mut positions = Vec::new();
+    validate_silences_into(fe, selected, reference, &mut positions);
+    positions
+}
+
+/// Workspace variant of [`validate_silences`]: clears `positions` and
+/// writes the validated silence positions (ascending) into it, reusing
+/// its capacity.
+///
+/// # Panics
+///
+/// Panics if `selected` is empty/unsorted/out of range or `reference` has
+/// fewer rows than the frame has DATA symbols.
+pub fn validate_silences_into(
+    fe: &FrontEnd,
+    selected: &[usize],
+    reference: &[[Complex; NUM_DATA]],
+    positions: &mut Vec<usize>,
+) {
     assert!(!selected.is_empty(), "selected subcarrier set is empty");
     for pair in selected.windows(2) {
         assert!(pair[0] < pair[1], "selected subcarriers must be sorted and unique");
@@ -69,7 +88,10 @@ pub fn validate_silences(
 
     let bins = data_bins();
     let n_sel = selected.len();
-    let mut positions = Vec::new();
+    positions.clear();
+    // Frame-geometry bound (every slot validated as silence): saturates the
+    // buffer on the first frame so later frames can never reallocate.
+    positions.reserve(fe.data_y.len() * n_sel);
     for (sym_idx, y_row) in fe.data_y.iter().enumerate() {
         for (j, &sc) in selected.iter().enumerate() {
             let y = y_row[sc];
@@ -81,7 +103,6 @@ pub fn validate_silences(
             }
         }
     }
-    positions
 }
 
 #[cfg(test)]

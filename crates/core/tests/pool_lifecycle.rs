@@ -1,0 +1,102 @@
+//! Property test for [`cos_core::SessionPool`] lifecycle: arbitrary
+//! interleavings of create / send / release never panic, never resurrect
+//! a released handle, and — the load-bearing property — a pooled session
+//! behaves **exactly** like a standalone [`CosSession`] with the same
+//! config and seed, however the pool recycles slots and spare workspaces
+//! around it. Scratch reuse across recycled sessions must be invisible.
+
+use cos_core::session::{CosSession, SessionConfig};
+use cos_core::{SessionId, SessionPool};
+use cos_phy::rates::DataRate;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Create a session with the given config variant.
+    Create(u8),
+    /// Send a packet on the n-th live session (mod live count).
+    Send(u8),
+    /// Release the n-th live session (mod live count).
+    Release(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6).prop_map(Op::Create),
+        (0u8..8).prop_map(Op::Send),
+        (0u8..8).prop_map(Op::Release),
+    ]
+}
+
+fn config(variant: u8) -> SessionConfig {
+    SessionConfig {
+        snr_db: 18.0 + (variant % 3) as f64 * 4.0,
+        rate: if variant.is_multiple_of(2) {
+            Some(DataRate::ALL[(variant as usize * 5) % 8])
+        } else {
+            None
+        },
+        ..Default::default()
+    }
+}
+
+/// A pooled session and the standalone shadow it must stay identical to.
+struct LiveSession {
+    id: SessionId,
+    shadow: CosSession,
+    packets: usize,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_sessions_match_standalone_shadows(
+        ops in proptest::collection::vec(arb_op(), 1..14),
+    ) {
+        let payload = [0x5A_u8; 180];
+        let control = [1u8, 0, 0, 1, 1, 0, 1, 0];
+        let mut pool = SessionPool::new();
+        let mut live: Vec<LiveSession> = Vec::new();
+        let mut created = 0u64;
+        let mut released: Vec<SessionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create(variant) => {
+                    let seed = 0xBEEF + created;
+                    created += 1;
+                    let id = pool.create(config(variant), seed);
+                    let shadow = CosSession::new(config(variant), seed);
+                    live.push(LiveSession { id, shadow, packets: 0 });
+                }
+                Op::Send(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = n as usize % live.len();
+                    let s = &mut live[idx];
+                    let pooled = pool.get_mut(s.id).expect("live handle resolves");
+                    let got = pooled.send_packet_summary(&payload, &control);
+                    let want = s.shadow.send_packet_summary(&payload, &control);
+                    s.packets += 1;
+                    prop_assert_eq!(got, want, "packet {} diverged", s.packets);
+                }
+                Op::Release(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let s = live.remove(n as usize % live.len());
+                    prop_assert!(pool.release(s.id), "live handle releases");
+                    released.push(s.id);
+                }
+            }
+            // Stale handles stay dead whatever happened since.
+            for id in &released {
+                prop_assert!(pool.get(*id).is_none(), "released handle resurrected");
+                prop_assert!(!pool.release(*id), "double release succeeded");
+            }
+            prop_assert_eq!(pool.len(), live.len(), "pool live count drifted");
+        }
+    }
+}

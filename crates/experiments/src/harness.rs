@@ -63,18 +63,11 @@ pub fn set_threads(n: usize) {
 /// The worker-thread count [`run_trials`] will use, resolved in priority
 /// order: [`set_threads`] (the binaries' `--threads N` flag), then the
 /// `COS_THREADS` environment variable, then the machine's available
-/// parallelism.
+/// parallelism (the resolution rule lives in
+/// [`cos_core::engine::configured_threads`], shared with the batch
+/// engine).
 pub fn threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if forced > 0 {
-        return forced;
-    }
-    if let Some(n) = std::env::var("COS_THREADS").ok().and_then(|v| v.parse().ok()) {
-        if n > 0 {
-            return n;
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    cos_core::engine::configured_threads(THREAD_OVERRIDE.load(Ordering::Relaxed))
 }
 
 /// Parses a `--threads N` (or `--threads=N`) command-line flag and applies
@@ -95,10 +88,12 @@ pub fn init_threads_from_args() {
 /// Runs `n` independent trials, `job(0) .. job(n-1)`, across [`threads`]
 /// scoped worker threads and returns the results **in index order**.
 ///
-/// Work is claimed from a shared atomic counter, so threads load-balance
-/// over trials of uneven cost; because every job derives its state purely
-/// from its index, the output is identical at any thread count (the
-/// repository's determinism contract, `docs/DETERMINISM.md`).
+/// Thin wrapper over [`cos_core::engine::run_indexed`] with the
+/// harness-resolved thread count: work is claimed from a shared atomic
+/// counter, so threads load-balance over trials of uneven cost; because
+/// every job derives its state purely from its index, the output is
+/// identical at any thread count (the repository's determinism contract,
+/// `docs/DETERMINISM.md`).
 ///
 /// # Panics
 ///
@@ -117,35 +112,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(n.max(1));
-    if workers <= 1 {
-        return (0..n).map(job).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, job(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("trial worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|&(i, _)| i);
-    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
-    tagged.into_iter().map(|(_, t)| t).collect()
+    cos_core::engine::run_indexed(n, threads(), job)
 }
 
 /// Generates `n` random control bits.

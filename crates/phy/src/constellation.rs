@@ -74,10 +74,37 @@ impl Modulation {
     /// told apart from a *transmitted* symbol by energy detection — the
     /// constraint behind CoS's modulation-aware detectability floor.
     pub fn min_point_energy(self) -> f64 {
-        self.points()
-            .into_iter()
-            .map(Complex::norm_sqr)
-            .fold(f64::INFINITY, f64::min)
+        // The innermost point sits at the smallest |level| on each axis
+        // (±1 in every table), so no enumeration of the constellation —
+        // this runs per frame in the detector's threshold computation.
+        let min_axis = self
+            .axis_levels()
+            .iter()
+            .fold(f64::INFINITY, |m, &l| m.min(l.abs()))
+            * self.kmod();
+        let e = min_axis * min_axis;
+        if self == Modulation::Bpsk {
+            e
+        } else {
+            2.0 * e
+        }
+    }
+
+    /// The average constellation energy after `K_MOD` normalisation —
+    /// exactly 1 by construction (Table 17-8), but computed from the
+    /// mapping so the EVM denominator can never drift from it. Sums in
+    /// bit-pattern order without materialising the point list.
+    pub fn average_energy(self) -> f64 {
+        let n = self.bits_per_symbol();
+        let mut sum = 0.0;
+        for idx in 0..self.points_count() {
+            let mut bits = [0u8; 6];
+            for (i, b) in bits[..n].iter_mut().enumerate() {
+                *b = ((idx >> (n - 1 - i)) & 1) as u8;
+            }
+            sum += self.map(&bits[..n]).norm_sqr();
+        }
+        sum / self.points_count() as f64
     }
 
     /// The per-axis amplitude levels *before* `K_MOD` scaling, indexed by

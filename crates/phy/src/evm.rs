@@ -37,10 +37,7 @@ pub fn per_subcarrier_evm(
     if let Some(mask) = exclude {
         assert_eq!(mask.len(), received.len(), "exclude mask rows must match symbol count");
     }
-    let denom = {
-        let pts = modulation.points();
-        pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64
-    };
+    let denom = modulation.average_energy();
     let mut err = [0.0f64; NUM_DATA];
     let mut count = [0usize; NUM_DATA];
     for (n, (rx_row, tx_row)) in received.iter().zip(reference).enumerate() {

@@ -235,6 +235,11 @@ pub fn extract_payload_into(
     if data_bits.len() < need {
         return false;
     }
+    // Reserve the payload bound even on frames that will fail the CRC:
+    // capacity then saturates on the first frame of a given PSDU length
+    // instead of on the first CRC pass, which on a poor link can land
+    // arbitrarily late.
+    payload.reserve(psdu_len.saturating_sub(4));
     bits_to_bytes_into(&data_bits[SERVICE_BITS..need], psdu_scratch);
     match crc32().verify(psdu_scratch) {
         Some(body) => {

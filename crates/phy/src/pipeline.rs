@@ -16,6 +16,7 @@
 use crate::ofdm::FreqSymbol;
 use crate::rates::DataRate;
 use crate::rx::{FrontEnd, Receiver, RxConfig, RxDecodeOut, RxFrame, RxScratch};
+use crate::sync::{correct_cfo, Acquisition, Synchronizer};
 use crate::tx::{Transmitter, TxFrame};
 use crate::error::PhyError;
 use cos_dsp::Complex;
@@ -68,6 +69,9 @@ pub struct RxWorkspace {
     /// Landing zone for the channel's output waveform (filled by e.g.
     /// `cos_channel::Link::transmit_into`).
     pub samples: Vec<Complex>,
+    /// Frame-aligned, CFO-corrected copy of a raw stream (filled by
+    /// [`Receiver::receive_stream_into`]).
+    pub aligned: Vec<Complex>,
     /// Front-end measurements of the last received frame.
     pub fe: FrontEnd,
     /// Decoder scratch.
@@ -80,6 +84,7 @@ impl Default for RxWorkspace {
     fn default() -> Self {
         RxWorkspace {
             samples: Vec::new(),
+            aligned: Vec::new(),
             fe: FrontEnd::empty(),
             scratch: RxScratch::default(),
             out: RxDecodeOut::default(),
@@ -134,6 +139,31 @@ impl Receiver {
         self.front_end_into(samples, fe)?;
         self.decode_into(fe, config.erasures, scratch, out);
         Ok(())
+    }
+
+    /// Stream variant of [`Receiver::receive_into`]: acquires the
+    /// preamble from a raw stream with unknown frame offset and CFO,
+    /// aligns and CFO-corrects the frame into `ws.aligned`, then runs
+    /// front end + decode into `ws`.
+    ///
+    /// # Errors
+    ///
+    /// [`PhyError::NoPreamble`] if acquisition fails, else any front-end
+    /// error; `ws` holds unspecified partial results on error.
+    pub fn receive_stream_into(
+        &self,
+        stream: &[Complex],
+        config: &RxConfig<'_>,
+        ws: &mut RxWorkspace,
+    ) -> Result<Acquisition, PhyError> {
+        let acq = Synchronizer::default().acquire(stream).ok_or(PhyError::NoPreamble)?;
+        ws.aligned.clear();
+        ws.aligned.extend_from_slice(&stream[acq.frame_start..]);
+        correct_cfo(&mut ws.aligned, acq.cfo_hz);
+        let RxWorkspace { aligned, fe, scratch, out, .. } = ws;
+        self.front_end_into(aligned, fe)?;
+        self.decode_into(fe, config.erasures, scratch, out);
+        Ok(acq)
     }
 }
 
@@ -245,6 +275,7 @@ impl PipelineStage for RxPipeline {
 
     fn reset(&self, ws: &mut Self::Workspace) {
         ws.samples.clear();
+        ws.aligned.clear();
         ws.fe.raw_symbols.clear();
         ws.fe.data_y.clear();
         ws.fe.equalized.clear();
@@ -291,6 +322,40 @@ mod tests {
         let silenced_energy: f64 = ws.render().iter().map(|x| x.norm_sqr()).sum();
         assert!(silenced_energy < clean_energy);
         assert_eq!(ws.frame.silence_count(), 2);
+    }
+
+    #[test]
+    fn stream_variant_matches_owned_on_dirty_workspace() {
+        use crate::rx::RxFrame;
+        use crate::sync::apply_cfo;
+
+        let payload: Vec<u8> = (0..200).map(|i| (i * 7) as u8).collect();
+        let mut stream = vec![Complex::ZERO; 137];
+        stream.extend(
+            Transmitter::new().build_frame(&payload, DataRate::Mbps24, 0x5D).to_time_samples(),
+        );
+        apply_cfo(&mut stream, 1_500.0);
+
+        let rx = Receiver::new();
+        let (acq_owned, frame_owned): (Acquisition, RxFrame) =
+            rx.receive_stream(&stream, &RxConfig::ideal()).expect("owned stream decode");
+
+        // Dirty the workspace with an unrelated frame first — the stream
+        // variant must fully overwrite it.
+        let mut ws = RxWorkspace::new();
+        let other =
+            Transmitter::new().build_frame(&[0x77; 90], DataRate::Mbps6, 0x11).to_time_samples();
+        rx.receive_into(&other, &RxConfig::ideal(), &mut ws).expect("warm-up decode");
+        let acq =
+            rx.receive_stream_into(&stream, &RxConfig::ideal(), &mut ws).expect("stream decode");
+
+        assert_eq!(acq.frame_start, acq_owned.frame_start);
+        assert_eq!(acq.cfo_hz.to_bits(), acq_owned.cfo_hz.to_bits());
+        assert_eq!(acq.confidence.to_bits(), acq_owned.confidence.to_bits());
+        assert!(ws.out.crc_ok);
+        assert_eq!(Some(&ws.out.payload), frame_owned.payload.as_ref());
+        assert_eq!(ws.out.data_bits, frame_owned.data_bits);
+        assert_eq!(ws.out.hard_coded_bits, frame_owned.hard_coded_bits);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::ofdm::{FreqSymbol, OfdmEngine};
 use crate::preamble::{self, ltf_value, PREAMBLE_LEN};
 use crate::rates::DataRate;
 use crate::signal::decode_signal_symbol;
-use crate::sync::{correct_cfo, Acquisition, Synchronizer};
+use crate::sync::Acquisition;
 use crate::subcarriers::{bin_of, data_bins, NUM_DATA, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN};
 use cos_dsp::{linear_to_db, Complex, Prbs127};
 use cos_fec::FecWorkspace;
@@ -489,7 +489,9 @@ impl Receiver {
 
     /// Receives from a raw stream with unknown frame offset and carrier
     /// frequency offset: acquires the preamble, corrects the CFO and
-    /// decodes.
+    /// decodes. Thin wrapper over
+    /// [`receive_stream_into`](Self::receive_stream_into) with fresh
+    /// scratch.
     ///
     /// # Errors
     ///
@@ -500,11 +502,9 @@ impl Receiver {
         stream: &[Complex],
         config: &RxConfig<'_>,
     ) -> Result<(Acquisition, RxFrame), PhyError> {
-        let acq = Synchronizer::default().acquire(stream).ok_or(PhyError::NoPreamble)?;
-        let mut aligned = stream[acq.frame_start..].to_vec();
-        correct_cfo(&mut aligned, acq.cfo_hz);
-        let frame = self.receive(&aligned, config)?;
-        Ok((acq, frame))
+        let mut ws = crate::pipeline::RxWorkspace::new();
+        let acq = self.receive_stream_into(stream, config, &mut ws)?;
+        Ok((acq, ws.to_rx_frame()))
     }
 }
 

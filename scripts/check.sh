@@ -28,6 +28,12 @@ cargo run -q --release -p cos-experiments --bin robustness_soak -- --quick
 echo "== alloc gate (workspace pipeline must stay ≥10x leaner than the owned path, or ≥1.5x faster)"
 cargo run -q --release -p cos-bench --bin alloc_gate -- --check
 
+echo "== golden vectors (frozen waveforms + decodes for all 8 rates; any bit/sample drift fails)"
+cargo test -q --release --test golden_vectors
+
+echo "== session_storm --smoke (1000+ pooled sessions: engine outcomes byte-identical at 1/4/8 threads)"
+cargo run -q --release -p cos-bench --bin session_storm -- --smoke
+
 echo "== CSV determinism (buffer reuse must not change a single byte of the committed results)"
 cargo run -q --release -p cos-experiments --bin fig02_snr_gap > /dev/null
 cargo run -q --release -p cos-experiments --bin fig05_evm_positions > /dev/null
