@@ -138,6 +138,9 @@ fn digest_outcome(h: &mut Fnv, o: &JobOutcome) {
                 }
             }
         }
+        // The session storm submits only plain and resilient jobs; the
+        // adaptive path has its own storm (`adaptation_storm`).
+        JobResult::Adaptive(_) => unreachable!("session_storm submits no adaptive jobs"),
         JobResult::StaleSession => h.byte(3),
     }
 }

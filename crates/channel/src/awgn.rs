@@ -38,6 +38,20 @@ impl Awgn {
         self.noise_var
     }
 
+    /// Retargets the noise variance without touching the RNG stream:
+    /// subsequent samples draw from the *same* Gaussian sequence, scaled
+    /// to the new variance. This is what keeps SNR drift scenarios
+    /// deterministic — the draw order is a pure function of the sample
+    /// count, not of when the variance changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var` is negative or not finite.
+    pub fn set_noise_var(&mut self, noise_var: f64) {
+        assert!(noise_var >= 0.0 && noise_var.is_finite(), "invalid noise variance {noise_var}");
+        self.noise_var = noise_var;
+    }
+
     /// Returns `samples + noise`.
     pub fn add_noise(&mut self, samples: &[Complex]) -> Vec<Complex> {
         samples

@@ -1,0 +1,738 @@
+//! Closed-loop link adaptation: an SNR-driven **rate staircase** plus a
+//! **silence-budget probe search** (paper §II-B, Fig. 2).
+//!
+//! The paper's premise is that stair-case rate adaptation leaves an SNR
+//! gap — the margin between the selected rate's decoding threshold and
+//! the channel's actual SNR — and that silence symbols ride in exactly
+//! that gap. This module closes the loop on both halves:
+//!
+//! 1. [`RateStaircase`] — an explicit state machine over the 8
+//!    golden-vector rates. A per-session EWMA of the measured per-frame
+//!    SNR ([`SnrEstimator`]) drives hysteresis-banded selection: a rate
+//!    upgrade requires the estimate to clear the *next* band's threshold
+//!    by an up-margin for a dwell count of consecutive packets, while a
+//!    downgrade fires as soon as the estimate falls a down-margin below
+//!    the *current* band's threshold. The asymmetric margins are what
+//!    keep the controller from flapping when the SNR sits on a band
+//!    edge.
+//! 2. [`SilenceProbeSearch`] — a probe loop shaped like RFC 8899's
+//!    PLPMTU search (Datagram Packetization-Layer Path MTU Discovery):
+//!    probe one silent-symbol step above the last confirmed budget,
+//!    treat a [`crate::resilience::ControlArq`] ACK of the probing
+//!    packet as confirmation, count consecutive unconfirmed probes
+//!    against `MAX_PROBES`, and converge to `SEARCH_COMPLETE` at the
+//!    largest confirmed budget. A rate-band change restarts the search
+//!    from its base — a new band means a new silence margin.
+//!
+//! [`LinkAdaptationController`] composes the two behind a single
+//! [`observe`](LinkAdaptationController::observe) call per packet. The
+//! controller is a pure state machine over its inputs: no clocks, no
+//! RNG, no floats beyond the EWMA (whose update order is fixed by the
+//! packet sequence). Two sessions fed the same `(snr, ack)` sequence
+//! hold bit-identical state — the property the engine's differential
+//! tests and `adaptation_storm` pin (see `docs/ADAPTATION.md`).
+
+use cos_phy::rates::DataRate;
+
+/// Tuning knobs for [`LinkAdaptationController`]. The defaults are
+/// calibrated against the simulated indoor channel (see
+/// `docs/ADAPTATION.md` for the reasoning behind each value).
+#[derive(Debug, Clone)]
+pub struct AdaptationConfig {
+    /// EWMA smoothing factor in `(0, 1]` for the SNR estimate; higher
+    /// tracks faster, lower smooths harder.
+    pub snr_alpha: f64,
+    /// Extra dB the EWMA must clear *above the next faster rate's*
+    /// minimum SNR before an upgrade is considered.
+    pub up_margin_db: f64,
+    /// dB the EWMA must fall *below the current rate's* minimum SNR
+    /// before a downgrade fires.
+    pub down_margin_db: f64,
+    /// Consecutive packets the upgrade condition must hold before the
+    /// staircase steps up one band.
+    pub up_dwell: u32,
+    /// Consecutive feedback misses before the controller falls back to
+    /// the slowest rate and restarts the probe search.
+    pub miss_fallback: u32,
+    /// The smallest silence budget (silent symbols per packet) — the
+    /// probe search's floor and restart point. Must be ≥ 2: one silence
+    /// terminates the interval code, so budget `b` carries
+    /// `(b − 1) · k` control bits.
+    pub base_budget: usize,
+    /// Silent symbols added per upward probe step.
+    pub probe_step: usize,
+    /// The largest budget the search will probe.
+    pub max_budget: usize,
+    /// Consecutive unconfirmed probes (RFC 8899 `MAX_PROBES`) before
+    /// the search completes at the last confirmed budget.
+    pub max_probes: u32,
+    /// Consecutive delivery failures tolerated at a *confirmed* budget
+    /// (state `SEARCH_COMPLETE`) before backing the budget off one step.
+    pub complete_fail_budget: u32,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            snr_alpha: 0.25,
+            up_margin_db: 1.5,
+            down_margin_db: 0.5,
+            up_dwell: 2,
+            miss_fallback: 4,
+            base_budget: 2,
+            probe_step: 4,
+            max_budget: 46,
+            max_probes: 3,
+            complete_fail_budget: 2,
+        }
+    }
+}
+
+impl AdaptationConfig {
+    fn validate(&self) {
+        assert!(
+            self.snr_alpha > 0.0 && self.snr_alpha <= 1.0,
+            "snr_alpha must be in (0, 1], got {}",
+            self.snr_alpha
+        );
+        assert!(self.base_budget >= 2, "base_budget must be ≥ 2, got {}", self.base_budget);
+        assert!(self.probe_step >= 1, "probe_step must be ≥ 1, got {}", self.probe_step);
+        assert!(
+            self.max_budget >= self.base_budget,
+            "max_budget {} below base_budget {}",
+            self.max_budget,
+            self.base_budget
+        );
+        assert!(self.max_probes >= 1, "max_probes must be ≥ 1");
+        assert!(self.up_dwell >= 1, "up_dwell must be ≥ 1");
+        assert!(self.miss_fallback >= 1, "miss_fallback must be ≥ 1");
+    }
+}
+
+/// Exponentially weighted moving average over measured per-frame SNR.
+///
+/// The first observation initialises the average directly (no warm-up
+/// bias); [`reset`](SnrEstimator::reset) returns to the uninitialised
+/// state, which is how a fallback forgets a stale channel estimate.
+#[derive(Debug, Clone)]
+pub struct SnrEstimator {
+    alpha: f64,
+    ewma: Option<f64>,
+}
+
+impl SnrEstimator {
+    /// Creates an estimator with smoothing factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        SnrEstimator { alpha, ewma: None }
+    }
+
+    /// Folds one measured SNR into the average and returns the updated
+    /// estimate.
+    pub fn observe(&mut self, measured_snr_db: f64) -> f64 {
+        let next = match self.ewma {
+            Some(prev) => prev + self.alpha * (measured_snr_db - prev),
+            None => measured_snr_db,
+        };
+        self.ewma = Some(next);
+        next
+    }
+
+    /// The current estimate, or `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Forgets the estimate (used on fallback).
+    pub fn reset(&mut self) {
+        self.ewma = None;
+    }
+}
+
+/// What the staircase did with one SNR observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaircaseEvent {
+    /// No transition.
+    Hold,
+    /// First feedback after a reset: the rate snapped straight to the
+    /// stair-case selection for the measured SNR.
+    Acquire,
+    /// Stepped up one band (dwell + up-margin satisfied).
+    Upgrade,
+    /// Dropped to the stair-case selection for the degraded estimate.
+    Downgrade,
+    /// Feedback starvation: fell back to the slowest rate.
+    Fallback,
+}
+
+/// The hysteresis-banded rate state machine.
+///
+/// States are the 8 bands of [`DataRate::ALL`] plus an *unacquired*
+/// flag; transitions are `Acquire` (first estimate → direct stair-case
+/// selection), `Upgrade` (one band up after `up_dwell` consecutive
+/// packets clear the next band's threshold + `up_margin_db`),
+/// `Downgrade` (straight to the stair-case selection once the estimate
+/// falls `down_margin_db` below the current band), and `Fallback`
+/// (external: feedback starvation drops to 6 Mbps, unacquired).
+#[derive(Debug, Clone)]
+pub struct RateStaircase {
+    up_margin_db: f64,
+    down_margin_db: f64,
+    up_dwell: u32,
+    rate: DataRate,
+    streak: u32,
+    acquired: bool,
+}
+
+impl RateStaircase {
+    /// Starts at the slowest rate, unacquired (no SNR estimate yet).
+    pub fn new(cfg: &AdaptationConfig) -> Self {
+        RateStaircase {
+            up_margin_db: cfg.up_margin_db,
+            down_margin_db: cfg.down_margin_db,
+            up_dwell: cfg.up_dwell,
+            rate: DataRate::Mbps6,
+            streak: 0,
+            acquired: false,
+        }
+    }
+
+    /// The currently selected rate.
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// Whether at least one SNR estimate has been absorbed since the
+    /// last reset.
+    pub fn acquired(&self) -> bool {
+        self.acquired
+    }
+
+    /// Feeds one EWMA SNR estimate and returns the transition taken.
+    pub fn observe(&mut self, ewma_snr_db: f64) -> StaircaseEvent {
+        if !self.acquired {
+            self.acquired = true;
+            self.streak = 0;
+            let selected = DataRate::select(ewma_snr_db);
+            let event =
+                if selected == self.rate { StaircaseEvent::Hold } else { StaircaseEvent::Acquire };
+            self.rate = selected;
+            return event;
+        }
+        if ewma_snr_db < self.rate.min_snr_db() - self.down_margin_db {
+            let target = DataRate::select(ewma_snr_db);
+            if target < self.rate {
+                self.rate = target;
+                self.streak = 0;
+                return StaircaseEvent::Downgrade;
+            }
+        }
+        if let Some(next) = self.rate.faster() {
+            if ewma_snr_db >= next.min_snr_db() + self.up_margin_db {
+                self.streak += 1;
+                if self.streak >= self.up_dwell {
+                    self.rate = next;
+                    self.streak = 0;
+                    return StaircaseEvent::Upgrade;
+                }
+            } else {
+                self.streak = 0;
+            }
+        }
+        StaircaseEvent::Hold
+    }
+
+    /// Drops to the slowest rate and forgets acquisition — the reaction
+    /// to feedback starvation.
+    pub fn fallback(&mut self) -> StaircaseEvent {
+        self.rate = DataRate::Mbps6;
+        self.streak = 0;
+        self.acquired = false;
+        StaircaseEvent::Fallback
+    }
+}
+
+/// The probe search's state, mirroring RFC 8899's `SEARCHING` /
+/// `SEARCH_COMPLETE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeState {
+    /// Probing upward: the target budget is one step above the last
+    /// confirmed budget.
+    Searching,
+    /// Converged: the target budget is the largest confirmed budget.
+    SearchComplete,
+}
+
+impl ProbeState {
+    /// A stable short label for CSV traces and digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeState::Searching => "searching",
+            ProbeState::SearchComplete => "complete",
+        }
+    }
+}
+
+/// What the probe search did with one packet outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// No state change (includes confirmed-budget successes in
+    /// `SEARCH_COMPLETE`).
+    Hold,
+    /// A probe was ACKed: the probed budget is now confirmed and the
+    /// next probe targets one step higher.
+    Confirmed,
+    /// A probe went unconfirmed (fewer than `MAX_PROBES` so far); the
+    /// same budget will be probed again.
+    Failed,
+    /// The search converged to `SEARCH_COMPLETE` — either the maximum
+    /// budget was confirmed or `MAX_PROBES` consecutive probes failed.
+    Completed,
+    /// Deliveries failed at a *confirmed* budget; the budget backed off
+    /// one step.
+    BackedOff,
+    /// The search restarted from the base budget (rate-band change or
+    /// fallback).
+    Restarted,
+}
+
+/// The silence-budget probe search (RFC 8899 PLPMTU loop, transplanted
+/// from bytes-per-datagram to silent-symbols-per-packet).
+#[derive(Debug, Clone)]
+pub struct SilenceProbeSearch {
+    base: usize,
+    step: usize,
+    max: usize,
+    max_probes: u32,
+    complete_fail_budget: u32,
+    state: ProbeState,
+    confirmed: usize,
+    probed: usize,
+    probe_count: u32,
+    complete_fails: u32,
+}
+
+impl SilenceProbeSearch {
+    /// Starts searching with the base budget confirmed and the first
+    /// probe one step above it.
+    pub fn new(cfg: &AdaptationConfig) -> Self {
+        let mut s = SilenceProbeSearch {
+            base: cfg.base_budget,
+            step: cfg.probe_step,
+            max: cfg.max_budget,
+            max_probes: cfg.max_probes,
+            complete_fail_budget: cfg.complete_fail_budget,
+            state: ProbeState::Searching,
+            confirmed: 0,
+            probed: 0,
+            probe_count: 0,
+            complete_fails: 0,
+        };
+        s.reset();
+        s
+    }
+
+    fn reset(&mut self) {
+        self.state = ProbeState::Searching;
+        self.confirmed = self.base;
+        self.probed = (self.base + self.step).min(self.max);
+        self.probe_count = 0;
+        self.complete_fails = 0;
+        if self.base == self.max {
+            // Nothing to probe: the search space is a single budget.
+            self.state = ProbeState::SearchComplete;
+        }
+    }
+
+    /// The budget the next packet should carry: the probe target while
+    /// searching, the confirmed budget once complete.
+    pub fn target_budget(&self) -> usize {
+        match self.state {
+            ProbeState::Searching => self.probed,
+            ProbeState::SearchComplete => self.confirmed,
+        }
+    }
+
+    /// The largest budget confirmed by an ACK so far.
+    pub fn confirmed_budget(&self) -> usize {
+        self.confirmed
+    }
+
+    /// The current search state.
+    pub fn state(&self) -> ProbeState {
+        self.state
+    }
+
+    /// Feeds the outcome of one packet that carried
+    /// [`target_budget`](Self::target_budget) silences: `acked` is true
+    /// when the `ControlArq` confirmed the control message it carried.
+    pub fn observe(&mut self, acked: bool) -> ProbeEvent {
+        match self.state {
+            ProbeState::Searching => {
+                if acked {
+                    self.confirmed = self.probed;
+                    self.probe_count = 0;
+                    if self.probed >= self.max {
+                        self.state = ProbeState::SearchComplete;
+                        ProbeEvent::Completed
+                    } else {
+                        self.probed = (self.probed + self.step).min(self.max);
+                        ProbeEvent::Confirmed
+                    }
+                } else {
+                    self.probe_count += 1;
+                    if self.probe_count >= self.max_probes {
+                        self.state = ProbeState::SearchComplete;
+                        self.probe_count = 0;
+                        ProbeEvent::Completed
+                    } else {
+                        ProbeEvent::Failed
+                    }
+                }
+            }
+            ProbeState::SearchComplete => {
+                if acked {
+                    self.complete_fails = 0;
+                    ProbeEvent::Hold
+                } else {
+                    self.complete_fails += 1;
+                    if self.complete_fails > self.complete_fail_budget {
+                        self.complete_fails = 0;
+                        self.confirmed = self.confirmed.saturating_sub(self.step).max(self.base);
+                        ProbeEvent::BackedOff
+                    } else {
+                        ProbeEvent::Hold
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restarts the search from the base budget — invoked on every
+    /// rate-band change, because a new band means a new silence margin.
+    pub fn restart(&mut self) -> ProbeEvent {
+        self.reset();
+        ProbeEvent::Restarted
+    }
+}
+
+/// The transitions both state machines took for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptationEvents {
+    /// The rate staircase's transition.
+    pub staircase: StaircaseEvent,
+    /// The probe search's transition.
+    pub probe: ProbeEvent,
+}
+
+/// Per-session closed-loop controller: EWMA SNR estimator feeding the
+/// rate staircase, with the silence-budget probe search slaved to the
+/// selected band.
+///
+/// Call order per packet: read [`rate`](Self::rate) and
+/// [`target_budget`](Self::target_budget) *before* transmitting, then
+/// feed the packet's outcome to [`observe`](Self::observe). The
+/// controller is deterministic: its state is a pure function of the
+/// observation sequence.
+#[derive(Debug, Clone)]
+pub struct LinkAdaptationController {
+    cfg: AdaptationConfig,
+    snr: SnrEstimator,
+    staircase: RateStaircase,
+    search: SilenceProbeSearch,
+    misses: u32,
+}
+
+impl LinkAdaptationController {
+    /// Creates a controller in its reset state: slowest rate, base
+    /// silence budget, no SNR estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`AdaptationConfig`] field
+    /// constraints).
+    pub fn new(cfg: AdaptationConfig) -> Self {
+        cfg.validate();
+        let snr = SnrEstimator::new(cfg.snr_alpha);
+        let staircase = RateStaircase::new(&cfg);
+        let search = SilenceProbeSearch::new(&cfg);
+        LinkAdaptationController { cfg, snr, staircase, search, misses: 0 }
+    }
+
+    /// The rate the next packet should use.
+    pub fn rate(&self) -> DataRate {
+        self.staircase.rate()
+    }
+
+    /// The silence budget the next packet should carry.
+    pub fn target_budget(&self) -> usize {
+        self.search.target_budget()
+    }
+
+    /// The probe search's current state.
+    pub fn search_state(&self) -> ProbeState {
+        self.search.state()
+    }
+
+    /// The probe search itself (read-only), for traces.
+    pub fn search(&self) -> &SilenceProbeSearch {
+        &self.search
+    }
+
+    /// The EWMA SNR estimate, or `None` before any feedback arrived.
+    pub fn ewma_snr_db(&self) -> Option<f64> {
+        self.snr.value()
+    }
+
+    /// Feeds one packet outcome.
+    ///
+    /// * `measured_snr_db` — the per-frame SNR carried by the EVM
+    ///   feedback report, or `None` when the report was lost.
+    /// * `acked` — whether the control message this packet carried was
+    ///   recovered and its ACK delivered.
+    /// * `carried_full_budget` — whether the packet actually embedded
+    ///   the full [`target_budget`](Self::target_budget) silences. When
+    ///   a short frame clamps the budget (see
+    ///   `CosSession::send_packet_adaptive`), the outcome says nothing
+    ///   about the probed budget, so the search ignores it.
+    pub fn observe(
+        &mut self,
+        measured_snr_db: Option<f64>,
+        acked: bool,
+        carried_full_budget: bool,
+    ) -> AdaptationEvents {
+        let mut events = AdaptationEvents { staircase: StaircaseEvent::Hold, probe: ProbeEvent::Hold };
+        match measured_snr_db {
+            Some(snr_db) => {
+                self.misses = 0;
+                let ewma = self.snr.observe(snr_db);
+                let before = self.staircase.rate();
+                events.staircase = self.staircase.observe(ewma);
+                if self.staircase.rate() != before {
+                    // Band change: the silence margin moved, so the ack
+                    // (earned in the old band) confirms nothing — the
+                    // search restarts instead of absorbing it.
+                    events.probe = self.search.restart();
+                    return events;
+                }
+            }
+            None => {
+                self.misses += 1;
+                if self.misses >= self.cfg.miss_fallback {
+                    self.misses = 0;
+                    if self.staircase.acquired() || self.staircase.rate() != DataRate::Mbps6 {
+                        events.staircase = self.staircase.fallback();
+                        self.snr.reset();
+                        events.probe = self.search.restart();
+                        return events;
+                    }
+                }
+            }
+        }
+        if carried_full_budget {
+            events.probe = self.search.observe(acked);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptationConfig {
+        AdaptationConfig::default()
+    }
+
+    #[test]
+    fn estimator_first_observation_initialises_directly() {
+        let mut e = SnrEstimator::new(0.25);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.observe(20.0), 20.0);
+        // 20 + 0.25·(24 − 20) = 21.
+        assert_eq!(e.observe(24.0), 21.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    fn staircase_acquires_directly_then_steps() {
+        let mut s = RateStaircase::new(&cfg());
+        assert_eq!(s.rate(), DataRate::Mbps6);
+        assert_eq!(s.observe(17.0), StaircaseEvent::Acquire);
+        assert_eq!(s.rate(), DataRate::Mbps36); // select(17) = 36 Mbps (min 16.5)
+        // Upgrade to 48 Mbps (min 20.5) needs ≥ 22.0 for up_dwell = 2 packets.
+        assert_eq!(s.observe(22.5), StaircaseEvent::Hold);
+        assert_eq!(s.observe(22.5), StaircaseEvent::Upgrade);
+        assert_eq!(s.rate(), DataRate::Mbps48);
+    }
+
+    #[test]
+    fn staircase_downgrade_is_immediate_and_multi_band() {
+        let mut s = RateStaircase::new(&cfg());
+        s.observe(23.0);
+        assert_eq!(s.rate(), DataRate::Mbps54);
+        // A collapse straight past several bands downgrades in one step.
+        assert_eq!(s.observe(9.0), StaircaseEvent::Downgrade);
+        assert_eq!(s.rate(), DataRate::Mbps12); // select(9) = 12 Mbps (min 8.0)
+    }
+
+    /// The ISSUE's hysteresis requirement: an SNR oscillating ±ε around
+    /// a band edge must not flap the rate in either direction.
+    #[test]
+    fn staircase_does_not_flap_across_a_band_edge() {
+        let edge = DataRate::Mbps36.min_snr_db(); // 16.5 dB
+        let eps = 0.3; // < both margins (up 1.5 dB, down 0.5 dB)
+
+        // Sitting just below the edge at 24 Mbps: never upgrades.
+        let mut below = RateStaircase::new(&cfg());
+        below.observe(edge - eps);
+        assert_eq!(below.rate(), DataRate::Mbps24);
+        for i in 0..64 {
+            let snr = if i % 2 == 0 { edge + eps } else { edge - eps };
+            assert_eq!(below.observe(snr), StaircaseEvent::Hold, "packet {i}");
+            assert_eq!(below.rate(), DataRate::Mbps24, "packet {i}");
+        }
+
+        // Sitting just above the edge at 36 Mbps: never downgrades.
+        let mut above = RateStaircase::new(&cfg());
+        above.observe(edge + 2.0); // acquire at 36 Mbps
+        assert_eq!(above.rate(), DataRate::Mbps36);
+        for i in 0..64 {
+            let snr = if i % 2 == 0 { edge + eps } else { edge - eps };
+            assert_eq!(above.observe(snr), StaircaseEvent::Hold, "packet {i}");
+            assert_eq!(above.rate(), DataRate::Mbps36, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn probe_search_climbs_to_max_and_completes() {
+        let c = cfg(); // base 2, step 4, max 46
+        let mut p = SilenceProbeSearch::new(&c);
+        assert_eq!(p.state(), ProbeState::Searching);
+        assert_eq!(p.target_budget(), 6);
+        let mut budgets = vec![];
+        loop {
+            budgets.push(p.target_budget());
+            let ev = p.observe(true);
+            if ev == ProbeEvent::Completed {
+                break;
+            }
+            assert_eq!(ev, ProbeEvent::Confirmed);
+        }
+        assert_eq!(budgets, vec![6, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46]);
+        assert_eq!(p.state(), ProbeState::SearchComplete);
+        assert_eq!(p.target_budget(), 46);
+        // Successes at the confirmed budget are Hold.
+        assert_eq!(p.observe(true), ProbeEvent::Hold);
+    }
+
+    #[test]
+    fn probe_search_max_probes_converges_at_confirmed() {
+        let c = cfg(); // max_probes 3
+        let mut p = SilenceProbeSearch::new(&c);
+        assert_eq!(p.observe(true), ProbeEvent::Confirmed); // 6 confirmed
+        assert_eq!(p.target_budget(), 10);
+        assert_eq!(p.observe(false), ProbeEvent::Failed);
+        assert_eq!(p.target_budget(), 10); // same budget retried
+        assert_eq!(p.observe(false), ProbeEvent::Failed);
+        assert_eq!(p.observe(false), ProbeEvent::Completed);
+        assert_eq!(p.state(), ProbeState::SearchComplete);
+        assert_eq!(p.target_budget(), 6); // converged at last confirmed
+    }
+
+    #[test]
+    fn probe_search_backs_off_after_confirmed_failures() {
+        let c = cfg(); // complete_fail_budget 2
+        let mut p = SilenceProbeSearch::new(&c);
+        for _ in 0..3 {
+            p.observe(true); // confirm 6, 10, 14
+        }
+        // Target is now 18; MAX_PROBES failures complete the search at 14.
+        p.observe(false);
+        p.observe(false);
+        p.observe(false);
+        assert_eq!(p.state(), ProbeState::SearchComplete);
+        assert_eq!(p.target_budget(), 14);
+        // Three more failures at the confirmed budget exceed the fail
+        // budget of 2 → back off one step to 10.
+        assert_eq!(p.observe(false), ProbeEvent::Hold);
+        assert_eq!(p.observe(false), ProbeEvent::Hold);
+        assert_eq!(p.observe(false), ProbeEvent::BackedOff);
+        assert_eq!(p.target_budget(), 10);
+    }
+
+    #[test]
+    fn probe_search_restart_returns_to_base() {
+        let c = cfg();
+        let mut p = SilenceProbeSearch::new(&c);
+        for _ in 0..4 {
+            p.observe(true);
+        }
+        assert_eq!(p.restart(), ProbeEvent::Restarted);
+        assert_eq!(p.state(), ProbeState::Searching);
+        assert_eq!(p.confirmed_budget(), 2);
+        assert_eq!(p.target_budget(), 6);
+    }
+
+    #[test]
+    fn controller_band_change_restarts_search_and_ignores_ack() {
+        let mut c = LinkAdaptationController::new(cfg());
+        c.observe(Some(17.0), true, true); // acquire 36 Mbps; ack ignored (band change)
+        assert_eq!(c.rate(), DataRate::Mbps36);
+        assert_eq!(c.target_budget(), 6); // still the first probe target
+        c.observe(Some(17.0), true, true); // no band change: ack confirms 6
+        assert_eq!(c.target_budget(), 10);
+        // Collapse → downgrade → search restarts from base.
+        let ev = c.observe(Some(5.0), true, true);
+        assert_eq!(ev.staircase, StaircaseEvent::Downgrade);
+        assert_eq!(ev.probe, ProbeEvent::Restarted);
+        assert_eq!(c.target_budget(), 6);
+        assert_eq!(c.search().confirmed_budget(), 2);
+    }
+
+    #[test]
+    fn controller_falls_back_after_feedback_starvation() {
+        let mut c = LinkAdaptationController::new(cfg());
+        c.observe(Some(23.0), true, true);
+        assert_eq!(c.rate(), DataRate::Mbps54);
+        let mut fell = false;
+        for _ in 0..4 {
+            let ev = c.observe(None, false, true);
+            fell |= ev.staircase == StaircaseEvent::Fallback;
+        }
+        assert!(fell, "miss_fallback misses must trigger fallback");
+        assert_eq!(c.rate(), DataRate::Mbps6);
+        assert_eq!(c.ewma_snr_db(), None);
+        assert_eq!(c.target_budget(), 6); // search restarted
+    }
+
+    #[test]
+    fn controller_clamped_packets_do_not_advance_the_search() {
+        let mut c = LinkAdaptationController::new(cfg());
+        c.observe(Some(17.0), true, true); // acquire
+        let before = c.target_budget();
+        // A clamped packet (carried_full_budget = false) says nothing
+        // about the probe — confirmed and target are untouched.
+        c.observe(Some(17.0), true, false);
+        c.observe(Some(17.0), false, false);
+        assert_eq!(c.target_budget(), before);
+    }
+
+    #[test]
+    fn controller_state_is_a_pure_function_of_observations() {
+        let seq: Vec<(Option<f64>, bool)> = (0..200)
+            .map(|i| {
+                let snr = 9.0 + (i % 37) as f64 * 0.45;
+                (if i % 11 == 3 { None } else { Some(snr) }, i % 5 != 0)
+            })
+            .collect();
+        let run = || {
+            let mut c = LinkAdaptationController::new(cfg());
+            for &(snr, ack) in &seq {
+                c.observe(snr, ack, true);
+            }
+            (c.rate(), c.target_budget(), c.search_state(), c.ewma_snr_db().map(f64::to_bits))
+        };
+        assert_eq!(run(), run());
+    }
+}

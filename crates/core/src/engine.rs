@@ -34,7 +34,7 @@
 //! check.sh` gates this); multi-threaded drains add a small per-drain —
 //! not per-frame — orchestration cost (thread spawns and one unit list).
 
-use crate::session::{CosSession, PacketSummary, ResilientSummary, SessionConfig};
+use crate::session::{AdaptiveSummary, CosSession, PacketSummary, ResilientSummary, SessionConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -246,6 +246,7 @@ pub struct ControlId(u32);
 enum JobKind {
     Plain(ControlId),
     Resilient,
+    Adaptive,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -269,6 +270,8 @@ pub enum JobResult {
     Plain(PacketSummary),
     /// A [`CosSession::send_packet_resilient_summary`] outcome.
     Resilient(ResilientSummary),
+    /// A [`CosSession::send_packet_adaptive_summary`] outcome.
+    Adaptive(AdaptiveSummary),
     /// The job's session handle was stale at drain time (released, or
     /// from a different pool); the frame was not sent.
     StaleSession,
@@ -370,6 +373,21 @@ impl BatchEngine {
     pub fn submit_resilient(&mut self, session: SessionId, payload: PayloadId) {
         assert!((payload.0 as usize) < self.payloads.len(), "unregistered payload id");
         self.jobs.push(Job { session, payload, kind: JobKind::Resilient });
+    }
+
+    /// Queues one adaptive-path frame
+    /// ([`CosSession::send_packet_adaptive_summary`]) for `session`: the
+    /// session's link-adaptation controller picks the rate and silence
+    /// budget, and its ARQ queue supplies the control bits. Adaptation
+    /// state lives in the session, so it follows the session through the
+    /// pool and is reset by recycling like every other per-session state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` was not registered with this engine.
+    pub fn submit_adaptive(&mut self, session: SessionId, payload: PayloadId) {
+        assert!((payload.0 as usize) < self.payloads.len(), "unregistered payload id");
+        self.jobs.push(Job { session, payload, kind: JobKind::Adaptive });
     }
 
     /// Jobs queued and not yet drained.
@@ -548,6 +566,9 @@ fn run_group(
                         JobKind::Resilient => {
                             JobResult::Resilient(sess.send_packet_resilient_summary(payload))
                         }
+                        JobKind::Adaptive => {
+                            JobResult::Adaptive(sess.send_packet_adaptive_summary(payload))
+                        }
                     }
                 };
                 emit(idx as usize, JobOutcome { session: job.session, result });
@@ -659,6 +680,42 @@ mod tests {
         }
         for (k, (got, want)) in engine_out.iter().zip(&reference).enumerate() {
             assert_eq!(got.result, JobResult::Plain(*want), "job {k}");
+        }
+    }
+
+    #[test]
+    fn adaptive_jobs_are_thread_invariant_and_match_sequential() {
+        let build = |threads: usize| {
+            let mut pool = SessionPool::new();
+            let ids: Vec<SessionId> =
+                (0..4).map(|i| pool.create(cfg(14.0 + i as f64 * 3.0), 400 + i as u64)).collect();
+            for &id in &ids {
+                pool.get_mut(id).unwrap().queue_adaptive_control(vec![1, 0, 0, 1]);
+            }
+            let mut engine = BatchEngine::new(EngineConfig { threads });
+            let p = engine.add_payload(&[0x42; 360]);
+            for _ in 0..5 {
+                for &id in &ids {
+                    engine.submit_adaptive(id, p);
+                }
+            }
+            engine.drain(&mut pool)
+        };
+        let one = build(1);
+        assert_eq!(one, build(4));
+
+        let mut sessions: Vec<CosSession> =
+            (0..4).map(|i| CosSession::new(cfg(14.0 + i as f64 * 3.0), 400 + i as u64)).collect();
+        for s in &mut sessions {
+            s.queue_adaptive_control(vec![1, 0, 0, 1]);
+        }
+        let mut k = 0;
+        for _ in 0..5 {
+            for s in &mut sessions {
+                let want = s.send_packet_adaptive_summary(&[0x42; 360]);
+                assert_eq!(one[k].result, JobResult::Adaptive(want), "job {k}");
+                k += 1;
+            }
         }
     }
 

@@ -45,7 +45,12 @@
 //! * [`engine`] — the batched multi-session engine: a generational
 //!   [`SessionPool`](engine::SessionPool) plus a
 //!   [`BatchEngine`](engine::BatchEngine) that shards frame jobs across
-//!   worker threads with byte-identical outcomes at any thread count.
+//!   worker threads with byte-identical outcomes at any thread count,
+//! * [`adaptation`] — the closed control loop over everything above: an
+//!   EWMA-SNR **rate staircase** with hysteresis bands and an RFC
+//!   8899-style **silence-budget probe search**, so each session
+//!   converges to the rate and silence budget its channel actually
+//!   supports (§II-B, Fig. 2; see `docs/ADAPTATION.md`).
 //!
 //! # Examples
 //!
@@ -58,6 +63,9 @@
 //! assert_eq!(report.control_bits.as_deref(), Some(&[1, 0, 1, 1, 0, 0, 1, 0][..]));
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod adaptation;
 pub mod baseline;
 pub mod control_rate;
 pub mod duplex;
@@ -72,6 +80,10 @@ pub mod session;
 pub mod subcarrier_select;
 pub mod validation;
 
+pub use adaptation::{
+    AdaptationConfig, AdaptationEvents, LinkAdaptationController, ProbeEvent, ProbeState,
+    RateStaircase, SilenceProbeSearch, SnrEstimator, StaircaseEvent,
+};
 pub use control_rate::ControlRateTable;
 pub use energy_detector::EnergyDetector;
 pub use engine::{
@@ -85,7 +97,8 @@ pub use resilience::{
     ResilienceConfig, ThresholdRecalibrator,
 };
 pub use session::{
-    CosSession, PacketSummary, ResilientReport, ResilientSummary, SessionConfig,
+    AdaptiveReport, AdaptiveSummary, CosSession, PacketSummary, ResilientReport, ResilientSummary,
+    SessionConfig,
 };
 pub use subcarrier_select::{select_control_subcarriers, SelectionPolicy};
 pub use validation::sanitize_selection;

@@ -13,7 +13,15 @@
 //!   staleness, corruption), the detector bias recalibrates on
 //!   false-alarm spikes, and a degraded-mode state machine drops to plain
 //!   data transmission when the control channel stops working.
+//! * [`CosSession::send_packet_adaptive`] — the closed loop of
+//!   [`crate::adaptation`]: the rate staircase picks the rate from the
+//!   EWMA of measured SNR and the silence-budget probe search sizes the
+//!   control payload, with ARQ-confirmed probes (paper §II-B, Fig. 2).
 
+use crate::adaptation::{
+    AdaptationConfig, AdaptationEvents, LinkAdaptationController, ProbeEvent, ProbeState,
+    StaircaseEvent,
+};
 use crate::control_rate::{ControlRateAdapter, ControlRateTable};
 use crate::energy_detector::{Detection, DetectionAccuracy, EnergyDetector};
 use crate::interval::IntervalCodec;
@@ -57,6 +65,10 @@ pub struct SessionConfig {
     /// `None` uses [`ResilienceConfig::default`] when that path is first
     /// taken and leaves [`CosSession::send_packet`] untouched.
     pub resilience: Option<ResilienceConfig>,
+    /// Link-adaptation knobs for [`CosSession::send_packet_adaptive`];
+    /// `None` uses [`AdaptationConfig::default`] when that path is first
+    /// taken and leaves the other send paths untouched.
+    pub adaptation: Option<AdaptationConfig>,
 }
 
 impl Default for SessionConfig {
@@ -70,6 +82,7 @@ impl Default for SessionConfig {
             min_control_subcarriers: 6,
             packet_interval: 1e-3,
             resilience: None,
+            adaptation: None,
         }
     }
 }
@@ -234,6 +247,98 @@ struct ResilientCore {
     delivered: bool,
 }
 
+/// Per-packet outcome of the adaptive path, wrapping [`PacketReport`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// The underlying packet outcome.
+    pub packet: PacketReport,
+    /// The EWMA SNR estimate after this packet (`None` before any
+    /// feedback arrived).
+    pub ewma_snr_db: Option<f64>,
+    /// The silence budget the controller targeted for this packet.
+    pub budget: usize,
+    /// The rate the next packet will use.
+    pub rate_after: DataRate,
+    /// The silence budget the next packet will target.
+    pub budget_after: usize,
+    /// The probe search's state after this packet.
+    pub search_state: ProbeState,
+    /// The staircase transition this packet triggered.
+    pub staircase_event: StaircaseEvent,
+    /// The probe-search transition this packet triggered.
+    pub probe_event: ProbeEvent,
+    /// Whether the sender received confirmation of the control message.
+    pub control_acked: bool,
+    /// Whether a feedback report reached the sender this packet.
+    pub feedback_delivered: bool,
+}
+
+/// Fixed-size (`Copy`) outcome of one adaptive-path packet, mirroring
+/// [`AdaptiveReport`] the way [`PacketSummary`] mirrors [`PacketReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSummary {
+    /// The underlying packet outcome.
+    pub packet: PacketSummary,
+    /// The EWMA SNR estimate after this packet (`f64::NEG_INFINITY`
+    /// before any feedback arrived, so the field stays `Copy`).
+    pub ewma_snr_db: f64,
+    /// The silence budget the controller targeted for this packet.
+    pub budget: usize,
+    /// The rate the next packet will use.
+    pub rate_after: DataRate,
+    /// The silence budget the next packet will target.
+    pub budget_after: usize,
+    /// The probe search's state after this packet.
+    pub search_state: ProbeState,
+    /// The staircase transition this packet triggered.
+    pub staircase_event: StaircaseEvent,
+    /// The probe-search transition this packet triggered.
+    pub probe_event: ProbeEvent,
+    /// Whether the sender received confirmation of the control message.
+    pub control_acked: bool,
+    /// Whether a feedback report reached the sender this packet.
+    pub feedback_delivered: bool,
+}
+
+/// The adaptive path's outcome before report/summary packaging.
+#[derive(Debug, Clone, Copy)]
+struct AdaptiveCore {
+    t: Transceived,
+    budget: usize,
+    rate_after: DataRate,
+    budget_after: usize,
+    search_state: ProbeState,
+    events: AdaptationEvents,
+    acked: bool,
+    delivered: bool,
+    /// EWMA after `observe`, `NEG_INFINITY` when still unset.
+    ewma_snr_db: f64,
+}
+
+/// Live state of the adaptation layer: the controller plus its own ARQ
+/// queue (probe confirmations ride the same feedback reports as the
+/// resilient path's ACKs) and the composed-message scratch buffer.
+#[derive(Debug, Clone)]
+struct AdaptationState {
+    ctrl: LinkAdaptationController,
+    arq: ControlArq,
+    /// The control message actually embedded: the ARQ head (if any)
+    /// padded with deterministic filler bits to the probe budget.
+    msg: Vec<u8>,
+}
+
+impl AdaptationState {
+    fn new(config: &SessionConfig) -> Self {
+        let cfg = config.adaptation.clone().unwrap_or_default();
+        let arq_cfg = config.resilience.clone().unwrap_or_default();
+        AdaptationState {
+            ctrl: LinkAdaptationController::new(cfg),
+            arq: ControlArq::new(&arq_cfg),
+            msg: Vec::new(),
+        }
+    }
+}
+
 /// A stored feedback report (for serving stale deliveries).
 #[derive(Debug, Clone)]
 struct HistoryEntry {
@@ -272,6 +377,7 @@ pub struct CosSession {
     rate: DataRate,
     seq: u64,
     resilience: Option<ResilienceState>,
+    adaptation: Option<AdaptationState>,
     /// Per-session zero-copy PHY scratch: the tx frame and waveform, the
     /// rx landing zone, and the decoder workspace. Every packet reuses
     /// these buffers; every stage fully overwrites what it writes.
@@ -306,6 +412,7 @@ impl CosSession {
             tally: PhyErrorTally::new(),
             history: VecDeque::new(),
         });
+        let adaptation = config.adaptation.is_some().then(|| AdaptationState::new(&config));
         CosSession {
             detector: EnergyDetector::new(config.detector_bias_db),
             controller: PowerController::new(codec),
@@ -317,6 +424,7 @@ impl CosSession {
             rate,
             seq: 0,
             resilience,
+            adaptation,
             ws: PhyWorkspace::new(),
             ref_tx: TxWorkspace::new(),
             det: Detection::default(),
@@ -349,6 +457,7 @@ impl CosSession {
         self.controller = PowerController::new(codec);
         self.adapter = ControlRateAdapter::new(ControlRateTable::default());
         self.seq = 0;
+        self.adaptation = config.adaptation.is_some().then(|| AdaptationState::new(&config));
         self.config = config;
     }
 
@@ -424,6 +533,52 @@ impl CosSession {
             .expect("just ensured")
             .arq
             .enqueue(bits, now);
+    }
+
+    /// Queues a control message for reliable (ARQ) delivery over the
+    /// adaptive path. Like [`send_packet`](Self::send_packet)'s control
+    /// bits, the length must be a multiple of the codec's `k` (default
+    /// 4) so the padded probe message stays decodable.
+    pub fn queue_adaptive_control(&mut self, bits: Vec<u8>) {
+        self.ensure_adaptation();
+        let now = self.seq;
+        self.adaptation
+            .as_mut()
+            .expect("just ensured")
+            .arq
+            .enqueue(bits, now);
+    }
+
+    /// Adaptive-path control-message ARQ statistics.
+    pub fn adaptive_arq_stats(&self) -> ArqStats {
+        self.adaptation.as_ref().map_or_else(ArqStats::default, |s| s.arq.stats())
+    }
+
+    /// Control messages still queued on the adaptive path.
+    pub fn adaptive_backlog(&self) -> usize {
+        self.adaptation.as_ref().map_or(0, |s| s.arq.backlog())
+    }
+
+    /// The link-adaptation controller, once the adaptive path has run
+    /// (or the session was configured with `adaptation: Some(_)`).
+    pub fn adaptation_controller(&self) -> Option<&LinkAdaptationController> {
+        self.adaptation.as_ref().map(|s| &s.ctrl)
+    }
+
+    /// Retargets the link's average SNR mid-session — the mobility /
+    /// coherence-time drift hook used by `fig07_adaptation`. The channel
+    /// realisation and all RNG streams are untouched, so a drift
+    /// trajectory is bit-exactly reproducible (see
+    /// [`cos_channel::Link::set_snr_db`]).
+    pub fn set_snr_db(&mut self, snr_db: f64) {
+        self.config.snr_db = snr_db;
+        self.link.set_snr_db(snr_db);
+    }
+
+    fn ensure_adaptation(&mut self) {
+        if self.adaptation.is_none() {
+            self.adaptation = Some(AdaptationState::new(&self.config));
+        }
     }
 
     fn ensure_resilience(&mut self) {
@@ -845,6 +1000,180 @@ impl CosSession {
 
         ResilientCore { t, mode, mode_after, attempted, acked, delivered }
     }
+
+    /// Sends one data packet through the closed adaptation loop: the
+    /// [`crate::adaptation`] rate staircase picks the rate, the
+    /// silence-budget probe search sizes the control payload (ARQ head
+    /// plus deterministic filler bits up to the probe budget), and the
+    /// packet's outcome — measured SNR, feedback fate, control ACK —
+    /// feeds both state machines for the next packet.
+    ///
+    /// # Examples
+    ///
+    /// Queue a control message, then drive the loop for a few packets:
+    /// the staircase acquires a rate from the first feedback report, the
+    /// probe search starts sizing the silence budget, and the ARQ
+    /// confirms delivery:
+    ///
+    /// ```
+    /// use cos_core::session::{CosSession, SessionConfig};
+    ///
+    /// let mut s = CosSession::new(SessionConfig { snr_db: 24.0, ..Default::default() }, 7);
+    /// s.queue_adaptive_control(vec![1, 0, 1, 1, 0, 0, 1, 0]);
+    /// let mut delivered = false;
+    /// for _ in 0..8 {
+    ///     let r = s.send_packet_adaptive(&[0xAB; 600]);
+    ///     delivered |= r.control_acked;
+    /// }
+    /// assert!(delivered, "ARQ delivers over a clean 24 dB link");
+    /// assert_eq!(s.adaptive_arq_stats().delivered, 1);
+    /// ```
+    pub fn send_packet_adaptive(&mut self, payload: &[u8]) -> AdaptiveReport {
+        let c = self.send_adaptive_core(payload);
+        AdaptiveReport {
+            packet: PacketReport {
+                data_ok: c.t.data_ok,
+                control_bits: c.t.control_present.then(|| self.xs.control.clone()),
+                control_ok: c.t.control_ok,
+                silences_sent: c.t.silences_sent,
+                detection: c.t.accuracy,
+                measured_snr_db: c.t.measured,
+                rate: c.t.rate,
+                selected: self.selected.clone(),
+            },
+            ewma_snr_db: (c.ewma_snr_db != f64::NEG_INFINITY).then_some(c.ewma_snr_db),
+            budget: c.budget,
+            rate_after: c.rate_after,
+            budget_after: c.budget_after,
+            search_state: c.search_state,
+            staircase_event: c.events.staircase,
+            probe_event: c.events.probe,
+            control_acked: c.acked,
+            feedback_delivered: c.delivered,
+        }
+    }
+
+    /// [`send_packet_adaptive`](Self::send_packet_adaptive) returning
+    /// the fixed-size [`AdaptiveSummary`]: identical state evolution, no
+    /// owned report — the batch engine's adaptive-job entry point. (Like
+    /// the resilient path, the ARQ queue clones its head message; the
+    /// summary itself adds nothing on top.)
+    pub fn send_packet_adaptive_summary(&mut self, payload: &[u8]) -> AdaptiveSummary {
+        let c = self.send_adaptive_core(payload);
+        AdaptiveSummary {
+            packet: self.summarize(&c.t),
+            ewma_snr_db: c.ewma_snr_db,
+            budget: c.budget,
+            rate_after: c.rate_after,
+            budget_after: c.budget_after,
+            search_state: c.search_state,
+            staircase_event: c.events.staircase,
+            probe_event: c.events.probe,
+            control_acked: c.acked,
+            feedback_delivered: c.delivered,
+        }
+    }
+
+    /// The shared adaptive-path core: read the controller's rate and
+    /// budget, compose the probe message, transceive, and feed the
+    /// outcome back into the controller.
+    fn send_adaptive_core(&mut self, payload: &[u8]) -> AdaptiveCore {
+        self.ensure_adaptation();
+        let mut state = self.adaptation.take().expect("just ensured");
+
+        // The staircase owns the rate unless the config pins one.
+        let rate = self.config.rate.unwrap_or_else(|| state.ctrl.rate());
+        self.rate = rate;
+        let target = state.ctrl.target_budget();
+
+        // Clamp the probe to what this frame can physically carry: the
+        // interval code spends at most 2^k + 1 control positions per
+        // interval, and the embedder can expand the selection up to all
+        // NUM_DATA subcarriers, so a frame of `n` symbols always fits
+        // `(n·NUM_DATA − 1) / (2^k + 1)` intervals. Short frames at fast
+        // rates would otherwise overflow the frame's control capacity.
+        let k = self.controller.codec().bits_per_interval();
+        let total_positions = rate.data_symbol_count(payload.len() + 4) * NUM_DATA;
+        let max_intervals = total_positions.saturating_sub(1) / ((1usize << k) + 1);
+        let sent_budget = target.min(max_intervals + 1);
+        let capacity_bits = sent_budget.saturating_sub(1) * k;
+
+        // Compose the probe message: the ARQ head (if any) padded with
+        // filler bits to the full budget, so every adaptive packet
+        // exercises exactly the budget it claims to probe. The filler is
+        // a pure function of the packet sequence number — determinism by
+        // construction.
+        state.msg.clear();
+        let from_queue = match state.arq.poll() {
+            Some(bits) => {
+                state.msg.extend_from_slice(&bits);
+                true
+            }
+            None => false,
+        };
+        let next_seq = self.seq + 1;
+        while state.msg.len() < capacity_bits {
+            let i = state.msg.len() as u64;
+            let x = next_seq
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i.wrapping_mul(0xA24B_AED4_963E_E407));
+            state.msg.push(((x >> 32) & 1) as u8);
+        }
+
+        let t = self.transceive(payload, &state.msg, true);
+        let fate = self.link.feedback_fate();
+
+        // Adaptation trusts only fresh feedback: stale, corrupt or
+        // dropped reports all count as misses (the resilient layer is
+        // the place that salvages degraded reports).
+        let mut delivered = false;
+        match t.feedback {
+            Some(fb) if matches!(fate, FeedbackFate::Deliver) => {
+                self.apply_adaptive_feedback(fb.measured_snr_db);
+                delivered = true;
+            }
+            _ => self.adapter.transmission_failed(),
+        }
+
+        // Probe confirmation rides the feedback report, exactly like the
+        // resilient path's ACKs: no report, no ACK.
+        let acked = t.control_ok && delivered;
+        if from_queue {
+            if acked {
+                state.arq.confirm(self.seq);
+            } else {
+                state.arq.reject();
+            }
+        }
+
+        // A clamped packet carried fewer silences than the probe target,
+        // so its outcome says nothing about the probed budget.
+        let carried_full = t.silences_sent >= target;
+        let events = state.ctrl.observe(delivered.then_some(t.measured), acked, carried_full);
+
+        let core = AdaptiveCore {
+            t,
+            budget: target,
+            rate_after: self.config.rate.unwrap_or_else(|| state.ctrl.rate()),
+            budget_after: state.ctrl.target_budget(),
+            search_state: state.ctrl.search_state(),
+            events,
+            acked,
+            delivered,
+            ewma_snr_db: state.ctrl.ewma_snr_db().unwrap_or(f64::NEG_INFINITY),
+        };
+        self.adaptation = Some(state);
+        core
+    }
+
+    /// Applies a fresh feedback report on the adaptive path: selection
+    /// swap + control-rate bookkeeping, but **not** the plain loop's
+    /// instantaneous `DataRate::select` — the staircase owns the rate.
+    fn apply_adaptive_feedback(&mut self, measured_snr_db: f64) {
+        std::mem::swap(&mut self.selected, &mut self.xs.fb_selection);
+        self.adapter.feedback(measured_snr_db);
+    }
+
     /// Bounds the session's control-subcarrier selection to the 48 data
     /// subcarriers, in place: out-of-range indices are dropped, duplicates
     /// removed, and a selection that ends up empty (all indices out of
@@ -1014,6 +1343,116 @@ mod tests {
             let sel = s.selected_subcarriers();
             assert!(sel.windows(2).all(|w| w[0] < w[1]), "unsorted/dup selection {sel:?}");
         }
+    }
+
+    #[test]
+    fn adaptive_path_climbs_rate_and_budget_on_clean_link() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 24.0, ..Default::default() }, 51);
+        let mut r = s.send_packet_adaptive(&[0xAB; 600]);
+        // First packet goes out at the unacquired staircase state.
+        assert_eq!(r.packet.rate, DataRate::Mbps6);
+        for _ in 0..40 {
+            r = s.send_packet_adaptive(&[0xAB; 600]);
+        }
+        let ctrl = s.adaptation_controller().expect("adaptive path ran");
+        assert!(ctrl.rate() >= DataRate::Mbps36, "staircase stuck at {:?}", ctrl.rate());
+        assert!(
+            ctrl.target_budget() > 2,
+            "probe search never confirmed a budget above base: {}",
+            ctrl.target_budget()
+        );
+        assert!(r.ewma_snr_db.is_some());
+    }
+
+    #[test]
+    fn adaptive_path_respects_pinned_rate() {
+        let cfg = SessionConfig { rate: Some(DataRate::Mbps18), snr_db: 25.0, ..Default::default() };
+        let mut s = CosSession::new(cfg, 5);
+        for _ in 0..6 {
+            let r = s.send_packet_adaptive(&[0; 400]);
+            assert_eq!(r.packet.rate, DataRate::Mbps18);
+            assert_eq!(r.rate_after, DataRate::Mbps18);
+        }
+    }
+
+    #[test]
+    fn adaptive_summary_matches_report_state_evolution() {
+        let mut by_report = CosSession::new(SessionConfig { snr_db: 21.0, ..Default::default() }, 77);
+        let mut by_summary = CosSession::new(SessionConfig { snr_db: 21.0, ..Default::default() }, 77);
+        by_report.queue_adaptive_control(bits(8));
+        by_summary.queue_adaptive_control(bits(8));
+        for _ in 0..10 {
+            let r = by_report.send_packet_adaptive(&[0x3C; 500]);
+            let m = by_summary.send_packet_adaptive_summary(&[0x3C; 500]);
+            assert_eq!(r.packet.data_ok, m.packet.data_ok);
+            assert_eq!(r.packet.control_ok, m.packet.control_ok);
+            assert_eq!(r.packet.silences_sent, m.packet.silences_sent);
+            assert_eq!(r.packet.measured_snr_db.to_bits(), m.packet.measured_snr_db.to_bits());
+            assert_eq!(r.budget, m.budget);
+            assert_eq!(r.budget_after, m.budget_after);
+            assert_eq!(r.rate_after, m.rate_after);
+            assert_eq!(r.control_acked, m.control_acked);
+        }
+        assert_eq!(by_report.selected_subcarriers(), by_summary.selected_subcarriers());
+    }
+
+    #[test]
+    fn adaptive_short_frame_clamps_probe_without_panicking() {
+        // A 30-byte payload at a fast pinned rate has very few symbols;
+        // the probe must clamp to the frame instead of overflowing the
+        // embedder.
+        let cfg = SessionConfig {
+            rate: Some(DataRate::Mbps54),
+            snr_db: 26.0,
+            adaptation: Some(crate::adaptation::AdaptationConfig {
+                base_budget: 2,
+                probe_step: 16,
+                max_budget: 64,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut s = CosSession::new(cfg, 91);
+        for _ in 0..10 {
+            let r = s.send_packet_adaptive(&[0x77; 30]);
+            assert!(r.packet.silences_sent <= r.budget);
+        }
+    }
+
+    #[test]
+    fn adaptive_reinit_equals_fresh_session() {
+        let cfg = SessionConfig { snr_db: 19.0, ..Default::default() };
+        let mut recycled = CosSession::new(
+            SessionConfig { snr_db: 9.0, rate: Some(DataRate::Mbps6), ..Default::default() },
+            999,
+        );
+        recycled.queue_adaptive_control(bits(8));
+        for _ in 0..5 {
+            recycled.send_packet_adaptive(&[0x11; 300]);
+        }
+        recycled.reinit(cfg.clone(), 4242);
+        let mut fresh = CosSession::new(cfg, 4242);
+        for _ in 0..8 {
+            let a = recycled.send_packet_adaptive_summary(&[0x22; 400]);
+            let b = fresh.send_packet_adaptive_summary(&[0x22; 400]);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn set_snr_db_drift_downgrades_rate() {
+        let mut s = CosSession::new(SessionConfig { snr_db: 26.0, ..Default::default() }, 61);
+        for _ in 0..12 {
+            s.send_packet_adaptive(&[0xAB; 600]);
+        }
+        let high_rate = s.adaptation_controller().expect("ran").rate();
+        assert!(high_rate >= DataRate::Mbps36);
+        s.set_snr_db(8.0);
+        for _ in 0..12 {
+            s.send_packet_adaptive(&[0xAB; 600]);
+        }
+        let low_rate = s.adaptation_controller().expect("ran").rate();
+        assert!(low_rate < high_rate, "rate never tracked the SNR collapse");
     }
 
     #[test]

@@ -16,6 +16,10 @@ enum Op {
     Create(u8),
     /// Send a packet on the n-th live session (mod live count).
     Send(u8),
+    /// Send an adaptive-path packet on the n-th live session (mod live
+    /// count) — adaptation state must follow the session through the
+    /// pool and be reset by recycling exactly like the rest.
+    SendAdaptive(u8),
     /// Release the n-th live session (mod live count).
     Release(u8),
 }
@@ -24,6 +28,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..6).prop_map(Op::Create),
         (0u8..8).prop_map(Op::Send),
+        (0u8..8).prop_map(Op::SendAdaptive),
         (0u8..8).prop_map(Op::Release),
     ]
 }
@@ -81,6 +86,18 @@ proptest! {
                     let want = s.shadow.send_packet_summary(&payload, &control);
                     s.packets += 1;
                     prop_assert_eq!(got, want, "packet {} diverged", s.packets);
+                }
+                Op::SendAdaptive(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = n as usize % live.len();
+                    let s = &mut live[idx];
+                    let pooled = pool.get_mut(s.id).expect("live handle resolves");
+                    let got = pooled.send_packet_adaptive_summary(&payload);
+                    let want = s.shadow.send_packet_adaptive_summary(&payload);
+                    s.packets += 1;
+                    prop_assert_eq!(got, want, "adaptive packet {} diverged", s.packets);
                 }
                 Op::Release(n) => {
                     if live.is_empty() {

@@ -1,0 +1,15 @@
+//! Regenerates the closed-loop adaptation tables:
+//! `results/fig07_adaptation_trace.csv` (controller riding the triangle
+//! SNR drift) and `results/fig07_adaptation_compare.csv` (adaptive vs
+//! the fixed (rate, budget) grid on paired channel realisations).
+//!
+//! Flags: `--threads N` (worker count; output is byte-identical at any
+//! value, see `docs/DETERMINISM.md`).
+
+use cos_experiments::{adaptation, table};
+
+fn main() {
+    cos_experiments::harness::init_threads_from_args();
+    let cfg = adaptation::Config::default();
+    table::emit(&adaptation::run(&cfg));
+}

@@ -1,7 +1,7 @@
 //! Runs every figure experiment at full fidelity and writes all CSVs
 //! under `results/`. Expect several minutes of runtime in release mode.
 
-use cos_experiments::{ablation, fig02, fig03, fig05, fig06, fig07, fig09, fig10, table};
+use cos_experiments::{adaptation, ablation, fig02, fig03, fig05, fig06, fig07, fig09, fig10, table};
 
 fn main() {
     cos_experiments::harness::init_threads_from_args();
@@ -25,6 +25,8 @@ fn main() {
         fig10::run_snr_sweep(&f10),
         fig10::run_interference(&f10),
     ]);
+    println!("== Closed-loop adaptation under SNR drift ==");
+    table::emit(&adaptation::run(&adaptation::Config::default()));
     println!("== Ablations ==");
     table::emit(&[
         ablation::run_evd(&ablation::Config::default()),

@@ -18,8 +18,10 @@
 //! | [`fig10`] | Fig. 10 | FFT snapshot, threshold sweep, detection vs SNR, interference |
 //! | [`ablation`] | §II-D/III-E claims | EVD vs error-only; weak vs random placement |
 //! | [`robustness`] | — (PR 2) | fault-injection soak of the resilient session |
+//! | [`adaptation`] | — (PR 6) | closed-loop rate staircase + budget probe under SNR drift |
 
 pub mod ablation;
+pub mod adaptation;
 pub mod fig02;
 pub mod fig03;
 pub mod fig05;

@@ -177,6 +177,25 @@ impl DataRate {
             .unwrap_or(DataRate::Mbps6)
     }
 
+    /// This rate's position on the staircase: its index in
+    /// [`DataRate::ALL`] (0 = slowest). The band arithmetic surface the
+    /// link-adaptation staircase (`cos_core::adaptation`) steps on.
+    pub fn band_index(self) -> usize {
+        DataRate::ALL.iter().position(|&r| r == self).expect("every rate is in ALL")
+    }
+
+    /// The next faster rate — one staircase band up — or `None` at
+    /// 54 Mbps.
+    pub fn faster(self) -> Option<DataRate> {
+        DataRate::ALL.get(self.band_index() + 1).copied()
+    }
+
+    /// The next slower rate — one staircase band down — or `None` at
+    /// 6 Mbps.
+    pub fn slower(self) -> Option<DataRate> {
+        self.band_index().checked_sub(1).map(|i| DataRate::ALL[i])
+    }
+
     /// Number of DATA OFDM symbols needed for a PSDU of `psdu_bytes`
     /// (Clause 17.3.5.3: SERVICE 16 + 8·bytes + 6 tail, padded up).
     pub fn data_symbol_count(self, psdu_bytes: usize) -> usize {

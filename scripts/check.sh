@@ -34,6 +34,12 @@ cargo test -q --release --test golden_vectors
 echo "== session_storm --smoke (1000+ pooled sessions: engine outcomes byte-identical at 1/4/8 threads)"
 cargo run -q --release -p cos-bench --bin session_storm -- --smoke
 
+echo "== adaptation_storm --smoke (closed-loop controller: adaptive outcomes byte-identical at 1/4/8 threads + drift-duel gate)"
+cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke
+
+echo "== docs link check (relative links and backticked *.md references must resolve)"
+scripts/linkcheck.sh
+
 echo "== CSV determinism (buffer reuse must not change a single byte of the committed results)"
 cargo run -q --release -p cos-experiments --bin fig02_snr_gap > /dev/null
 cargo run -q --release -p cos-experiments --bin fig05_evm_positions > /dev/null

@@ -9,7 +9,9 @@
 //! cross-session state bleeding through the pool or the workers.
 
 use cos_channel::{BurstInterference, FaultEngine, FeedbackLoss};
-use cos_core::session::{CosSession, PacketSummary, ResilientSummary, SessionConfig};
+use cos_core::session::{
+    AdaptiveSummary, CosSession, PacketSummary, ResilientSummary, SessionConfig,
+};
 use cos_core::{BatchEngine, EngineConfig, JobResult, SessionPool};
 use cos_phy::rates::DataRate;
 
@@ -47,16 +49,20 @@ fn seed(i: usize) -> u64 {
 enum Kind {
     Plain { payload: usize, control: usize },
     Resilient { payload: usize },
+    Adaptive { payload: usize },
 }
 
 /// The job schedule: session choice deliberately non-round-robin so
-/// per-session sequences interleave unevenly across the batch.
+/// per-session sequences interleave unevenly across the batch, with all
+/// three job kinds mixed on the same sessions.
 fn schedule() -> Vec<(usize, Kind)> {
     (0..N_JOBS)
         .map(|k| {
             let s = (k * 3 + k / 9) % N_SESSIONS;
             let kind = if k % 4 == 0 {
                 Kind::Resilient { payload: k % 3 }
+            } else if k % 7 == 1 {
+                Kind::Adaptive { payload: k % 3 }
             } else {
                 Kind::Plain { payload: k % 3, control: k % 2 }
             };
@@ -97,6 +103,19 @@ fn assert_packet_eq(a: &PacketSummary, b: &PacketSummary, ctx: &str) {
     assert_eq!(a.control_hash, b.control_hash, "{ctx}: control_hash");
 }
 
+fn assert_adaptive_eq(a: &AdaptiveSummary, b: &AdaptiveSummary, ctx: &str) {
+    assert_packet_eq(&a.packet, &b.packet, ctx);
+    assert_eq!(a.ewma_snr_db.to_bits(), b.ewma_snr_db.to_bits(), "{ctx}: ewma_snr_db bits");
+    assert_eq!(a.budget, b.budget, "{ctx}: budget");
+    assert_eq!(a.rate_after, b.rate_after, "{ctx}: rate_after");
+    assert_eq!(a.budget_after, b.budget_after, "{ctx}: budget_after");
+    assert_eq!(a.search_state, b.search_state, "{ctx}: search_state");
+    assert_eq!(a.staircase_event, b.staircase_event, "{ctx}: staircase_event");
+    assert_eq!(a.probe_event, b.probe_event, "{ctx}: probe_event");
+    assert_eq!(a.control_acked, b.control_acked, "{ctx}: control_acked");
+    assert_eq!(a.feedback_delivered, b.feedback_delivered, "{ctx}: feedback_delivered");
+}
+
 fn assert_resilient_eq(a: &ResilientSummary, b: &ResilientSummary, ctx: &str) {
     assert_packet_eq(&a.packet, &b.packet, ctx);
     assert_eq!(a.mode, b.mode, "{ctx}: mode");
@@ -128,6 +147,9 @@ fn sequential_reference() -> Vec<JobResult> {
             Kind::Resilient { payload } => {
                 JobResult::Resilient(sessions[s].send_packet_resilient_summary(&payloads[payload]))
             }
+            Kind::Adaptive { payload } => {
+                JobResult::Adaptive(sessions[s].send_packet_adaptive_summary(&payloads[payload]))
+            }
         })
         .collect()
 }
@@ -158,6 +180,7 @@ fn engine_run(threads: usize) -> Vec<JobResult> {
                     engine.submit(ids[s], pids[payload], cids[control])
                 }
                 Kind::Resilient { payload } => engine.submit_resilient(ids[s], pids[payload]),
+                Kind::Adaptive { payload } => engine.submit_adaptive(ids[s], pids[payload]),
             }
         }
         engine.drain_into(&mut pool, &mut out);
@@ -180,6 +203,7 @@ fn batch_engine_matches_sequential_sessions_at_any_thread_count() {
                 (JobResult::Resilient(a), JobResult::Resilient(b)) => {
                     assert_resilient_eq(a, b, &ctx)
                 }
+                (JobResult::Adaptive(a), JobResult::Adaptive(b)) => assert_adaptive_eq(a, b, &ctx),
                 _ => panic!("{ctx}: result kind mismatch"),
             }
         }
