@@ -5,14 +5,17 @@
 //! and once through the `*_into` workspace pipeline, under a counting
 //! global allocator. Also profiles the streaming receive path
 //! (`receive_stream` vs `receive_stream_into`, which must be
-//! allocation-free at steady state) and the resilient session path
-//! (`send_packet_resilient` vs the `_summary` variant). Writes the
+//! allocation-free at steady state), the resilient session path
+//! (`send_packet_resilient` vs the `_summary` variant), and the transmit
+//! control path (`build_frame` + `PowerController::embed` +
+//! `to_time_samples` vs `build_frame_into` + `embed_into` + `render`,
+//! which must also be allocation-free at steady state). Writes the
 //! comparison to `BENCH_pr4.json` in the current directory and, with
 //! `--check`, exits non-zero unless the workspace path allocates at most
 //! a tenth of what the owned path does per frame (the PR 4 acceptance
-//! floor), the streaming workspace path allocates nothing per frame, and
-//! the resilient summary path allocates strictly less than the
-//! report-building one.
+//! floor), the streaming workspace rx and the embedding workspace tx
+//! paths allocate nothing per frame, and the resilient summary path
+//! allocates strictly less than the report-building one.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -22,6 +25,7 @@ use std::time::Instant;
 use cos_bench::bench_payload;
 use cos_channel::{ChannelConfig, Link};
 use cos_core::session::{CosSession, SessionConfig};
+use cos_core::PowerController;
 use cos_dsp::Complex;
 use cos_phy::rates::DataRate;
 use cos_phy::rx::{Receiver, RxConfig};
@@ -191,6 +195,38 @@ fn run_stream_workspace() -> Measurement {
     })
 }
 
+/// Control subcarriers and bits for the tx+embed scenarios (the same
+/// shape the power-controller unit tests use).
+const EMBED_SELECTED: [usize; 6] = [3, 11, 19, 27, 35, 43];
+const EMBED_BITS: [u8; 8] = [1, 0, 1, 1, 0, 1, 0, 0];
+
+fn run_embed_owned() -> Measurement {
+    let payload = bench_payload();
+    let tx = Transmitter::new();
+    let pc = PowerController::default();
+    measure(|| {
+        let mut frame = tx.build_frame(&payload, DataRate::Mbps24, 0x5D);
+        let positions = pc.embed(&mut frame, &EMBED_SELECTED, &EMBED_BITS).expect("fits");
+        let samples = frame.to_time_samples();
+        !positions.is_empty() && !samples.is_empty()
+    })
+}
+
+fn run_embed_workspace() -> Measurement {
+    let payload = bench_payload();
+    let txp = TxPipeline::new();
+    let pc = PowerController::default();
+    let mut ws = PhyWorkspace::new();
+    let mut positions: Vec<usize> = Vec::new();
+    measure(move || {
+        txp.transmitter().build_frame_into(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx);
+        pc.embed_into(&mut ws.tx.frame, &EMBED_SELECTED, &EMBED_BITS, &mut positions)
+            .expect("fits");
+        let n = ws.tx.render().len();
+        !positions.is_empty() && n > 0
+    })
+}
+
 fn resilient_session() -> CosSession {
     CosSession::new(SessionConfig { snr_db: SNR_DB, ..Default::default() }, 42)
 }
@@ -255,6 +291,8 @@ fn main() {
     let stream_workspace = run_stream_workspace();
     let resilient_report = run_resilient_report();
     let resilient_summary = run_resilient_summary();
+    let embed_owned = run_embed_owned();
+    let embed_workspace = run_embed_workspace();
 
     assert_eq!(
         owned.crc_ok, workspace.crc_ok,
@@ -268,12 +306,17 @@ fn main() {
         resilient_report.crc_ok, resilient_summary.crc_ok,
         "resilient report and summary paths decoded different frame counts"
     );
+    assert_eq!(
+        embed_owned.crc_ok, embed_workspace.crc_ok,
+        "owned and workspace tx+embed paths built different frame counts"
+    );
 
     // With a fully allocation-free workspace path the ratio is reported
     // against a 1-alloc floor, i.e. "at least N× fewer".
     let alloc_ratio = owned.allocs_per_frame / workspace.allocs_per_frame.max(1.0);
     let speedup = workspace.frames_per_sec / owned.frames_per_sec;
     let stream_ratio = stream_owned.allocs_per_frame / stream_workspace.allocs_per_frame.max(1.0);
+    let embed_ratio = embed_owned.allocs_per_frame / embed_workspace.allocs_per_frame.max(1.0);
 
     let section = |m: &Measurement| {
         format!(
@@ -282,16 +325,19 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {},\n  \"workspace\": {},\n  \"stream_owned\": {},\n  \"stream_workspace\": {},\n  \"resilient_report\": {},\n  \"resilient_summary\": {},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"stream_alloc_reduction\": {:.1},\n  \"crc_ok_frames\": {}\n}}\n",
+        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {},\n  \"workspace\": {},\n  \"stream_owned\": {},\n  \"stream_workspace\": {},\n  \"resilient_report\": {},\n  \"resilient_summary\": {},\n  \"embed_owned\": {},\n  \"embed_workspace\": {},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"stream_alloc_reduction\": {:.1},\n  \"embed_alloc_reduction\": {:.1},\n  \"crc_ok_frames\": {}\n}}\n",
         section(&owned),
         section(&workspace),
         section(&stream_owned),
         section(&stream_workspace),
         section(&resilient_report),
         section(&resilient_summary),
+        section(&embed_owned),
+        section(&embed_workspace),
         alloc_ratio,
         speedup,
         stream_ratio,
+        embed_ratio,
         owned.crc_ok,
     );
     std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
@@ -310,6 +356,12 @@ fn main() {
                 stream_workspace.allocs_per_frame
             ));
         }
+        if embed_workspace.allocs_per_frame > 0.0 {
+            failures.push(format!(
+                "tx+embed workspace path allocates {:.2}/frame (want 0)",
+                embed_workspace.allocs_per_frame
+            ));
+        }
         if resilient_summary.allocs_per_frame >= resilient_report.allocs_per_frame {
             failures.push(format!(
                 "resilient summary path allocates {:.2}/frame, not below the report path's {:.2}",
@@ -322,7 +374,8 @@ fn main() {
         }
         eprintln!(
             "alloc gate passed: {alloc_ratio:.1}x fewer allocs, {speedup:.3}x rx speedup, \
-             streaming rx 0 allocs/frame, resilient summary {:.2} vs report {:.2} allocs/frame",
+             streaming rx 0 allocs/frame, tx+embed 0 allocs/frame ({embed_ratio:.1}x fewer), \
+             resilient summary {:.2} vs report {:.2} allocs/frame",
             resilient_summary.allocs_per_frame, resilient_report.allocs_per_frame
         );
     }

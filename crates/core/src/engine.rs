@@ -116,6 +116,13 @@ impl SessionId {
     pub fn index(&self) -> usize {
         self.index as usize
     }
+
+    /// The slot generation this handle was minted for — together with
+    /// [`index`](Self::index) it identifies one session lifetime uniquely,
+    /// which is what outcome digests and the service replay journal hash.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
 }
 
 #[derive(Debug)]
@@ -237,10 +244,25 @@ impl SessionPool {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PayloadId(u32);
 
+impl PayloadId {
+    /// Registration ordinal: the n-th `add_payload` call returned n-1.
+    /// The service replay journal keys its payload table on this.
+    pub fn ordinal(&self) -> u32 {
+        self.0
+    }
+}
+
 /// Handle to a control message registered with
 /// [`BatchEngine::add_control`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControlId(u32);
+
+impl ControlId {
+    /// Registration ordinal: the n-th `add_control` call returned n-1.
+    pub fn ordinal(&self) -> u32 {
+        self.0
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum JobKind {

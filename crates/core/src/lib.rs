@@ -50,7 +50,12 @@
 //!   EWMA-SNR **rate staircase** with hysteresis bands and an RFC
 //!   8899-style **silence-budget probe search**, so each session
 //!   converges to the rate and silence budget its channel actually
-//!   supports (§II-B, Fig. 2; see `docs/ADAPTATION.md`).
+//!   supports (§II-B, Fig. 2; see `docs/ADAPTATION.md`),
+//! * [`service`] — the overload-safe async front door on the engine:
+//!   admission control with typed rejection, bounded queues with
+//!   deadlines and retry budgets, a watchdog + dead-letter quarantine,
+//!   and a deterministic replay journal that reproduces any live run
+//!   bit-exactly offline (see `docs/ROBUSTNESS.md`).
 //!
 //! # Examples
 //!
@@ -76,6 +81,7 @@ pub mod interval;
 pub mod messages;
 pub mod power_controller;
 pub mod resilience;
+pub mod service;
 pub mod session;
 pub mod subcarrier_select;
 pub mod validation;
@@ -93,8 +99,13 @@ pub use engine::{
 pub use interval::IntervalCodec;
 pub use power_controller::PowerController;
 pub use resilience::{
-    ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition, PhyErrorTally,
-    ResilienceConfig, ThresholdRecalibrator,
+    ArqHistograms, ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition,
+    PhyErrorTally, ResilienceConfig, ThresholdRecalibrator,
+};
+pub use service::journal::{JournalError, ReplayJournal, ReplayReport};
+pub use service::{
+    CosService, DeadLetter, FaultPlan, QuarantineReason, Rejected, ServiceConfig, ServiceCore,
+    ServiceJobKind, ServiceOutcome, ServiceResult, ServiceStats, Ticket,
 };
 pub use session::{
     AdaptiveReport, AdaptiveSummary, CosSession, PacketSummary, ResilientReport, ResilientSummary,

@@ -233,6 +233,92 @@ impl DegradedModeController {
     }
 }
 
+/// Attempt buckets of [`ArqHistograms`]: index `k < 9` counts messages
+/// resolved after exactly `k + 1` transmission attempts; the last bucket
+/// collects everything beyond.
+pub const ARQ_ATTEMPT_BUCKETS: usize = 10;
+
+/// Latency buckets of [`ArqHistograms`] (delivery latency in packets):
+/// `0`, `1`, `2`, `3–4`, `5–8`, `9–16`, `17–32`, `33+`.
+pub const ARQ_LATENCY_BUCKETS: usize = 8;
+
+/// Per-message delivery histograms of a [`ControlArq`] — the data that
+/// makes retry budgets and backoff caps tunable from measurement rather
+/// than guesswork (the robustness soak reports these per fault scenario,
+/// and the service layer sizes its own retry budget against them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArqHistograms {
+    /// Attempts needed per **delivered** message (see
+    /// [`ARQ_ATTEMPT_BUCKETS`]).
+    pub delivered_attempts: [u64; ARQ_ATTEMPT_BUCKETS],
+    /// Attempts spent per **failed** (retry-exhausted) message.
+    pub failed_attempts: [u64; ARQ_ATTEMPT_BUCKETS],
+    /// Enqueue-to-confirmation latency per delivered message, in packets
+    /// — backoff waits included (see [`ARQ_LATENCY_BUCKETS`]).
+    pub delivery_latency: [u64; ARQ_LATENCY_BUCKETS],
+}
+
+impl ArqHistograms {
+    fn attempt_bucket(attempts: u32) -> usize {
+        (attempts.max(1) as usize - 1).min(ARQ_ATTEMPT_BUCKETS - 1)
+    }
+
+    fn latency_bucket(latency: u64) -> usize {
+        match latency {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3..=4 => 3,
+            5..=8 => 4,
+            9..=16 => 5,
+            17..=32 => 6,
+            _ => 7,
+        }
+    }
+
+    fn record_delivered(&mut self, attempts: u32, latency: u64) {
+        self.delivered_attempts[Self::attempt_bucket(attempts)] += 1;
+        self.delivery_latency[Self::latency_bucket(latency)] += 1;
+    }
+
+    fn record_failed(&mut self, attempts: u32) {
+        self.failed_attempts[Self::attempt_bucket(attempts)] += 1;
+    }
+
+    /// Element-wise accumulation (for aggregating across trials).
+    pub fn merge(&mut self, other: &ArqHistograms) {
+        for (a, b) in self.delivered_attempts.iter_mut().zip(&other.delivered_attempts) {
+            *a += b;
+        }
+        for (a, b) in self.failed_attempts.iter_mut().zip(&other.failed_attempts) {
+            *a += b;
+        }
+        for (a, b) in self.delivery_latency.iter_mut().zip(&other.delivery_latency) {
+            *a += b;
+        }
+    }
+
+    /// Smallest attempt count whose cumulative delivered share reaches
+    /// `q` (e.g. 0.99 ⇒ "99 % of messages deliver within N attempts");
+    /// `None` when nothing was delivered. The last bucket reports as
+    /// [`ARQ_ATTEMPT_BUCKETS`] (a `10+` reading).
+    pub fn attempts_quantile(&self, q: f64) -> Option<usize> {
+        let total: u64 = self.delivered_attempts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (k, &n) in self.delivered_attempts.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Some(k + 1);
+            }
+        }
+        Some(ARQ_ATTEMPT_BUCKETS)
+    }
+}
+
 /// Aggregate ARQ statistics (latencies are in packets).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArqStats {
@@ -290,6 +376,7 @@ pub struct ControlArq {
     backoff_max: u32,
     queue: VecDeque<ArqEntry>,
     stats: ArqStats,
+    hist: ArqHistograms,
 }
 
 impl ControlArq {
@@ -301,6 +388,7 @@ impl ControlArq {
             backoff_max: cfg.arq_backoff_max.max(cfg.arq_backoff),
             queue: VecDeque::new(),
             stats: ArqStats::default(),
+            hist: ArqHistograms::default(),
         }
     }
 
@@ -326,6 +414,11 @@ impl ControlArq {
         self.stats
     }
 
+    /// Per-message attempt/latency histograms.
+    pub fn histograms(&self) -> &ArqHistograms {
+        &self.hist
+    }
+
     /// Returns the bits to transmit this packet, if the head message's
     /// backoff has elapsed; otherwise counts the packet against the
     /// backoff and returns `None`.
@@ -343,8 +436,10 @@ impl ControlArq {
     /// The head message (last polled) was confirmed delivered.
     pub fn confirm(&mut self, now_packet: u64) {
         if let Some(entry) = self.queue.pop_front() {
+            let latency = now_packet.saturating_sub(entry.enqueued_at);
             self.stats.delivered += 1;
-            self.stats.total_delivery_latency += now_packet.saturating_sub(entry.enqueued_at);
+            self.stats.total_delivery_latency += latency;
+            self.hist.record_delivered(entry.attempts, latency);
         }
     }
 
@@ -353,8 +448,10 @@ impl ControlArq {
     pub fn reject(&mut self) {
         let Some(head) = self.queue.front_mut() else { return };
         if head.attempts > self.max_retries {
+            let attempts = head.attempts;
             self.queue.pop_front();
             self.stats.failed += 1;
+            self.hist.record_failed(attempts);
         } else {
             head.wait = head.backoff;
             head.backoff = (head.backoff.saturating_mul(2)).min(self.backoff_max);
@@ -611,6 +708,43 @@ mod tests {
         }
         // First attempt immediate, then 1, 2, 4, 8, 8... packet gaps.
         assert_eq!(&gaps[..5], &[0, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn histograms_track_attempts_and_latency() {
+        let cfg = ResilienceConfig { arq_max_retries: 2, arq_backoff: 1, ..Default::default() };
+        let mut arq = ControlArq::new(&cfg);
+        // Message 1: delivered first try, latency 0.
+        arq.enqueue(vec![1, 0], 0);
+        assert!(arq.poll().is_some());
+        arq.confirm(0);
+        // Message 2: one reject, delivered on the 2nd attempt at packet 5.
+        arq.enqueue(vec![0, 1], 2);
+        assert!(arq.poll().is_some());
+        arq.reject();
+        while arq.poll().is_none() {}
+        arq.confirm(5);
+        // Message 3: rejected to exhaustion (1 + 2 retries = 3 attempts).
+        arq.enqueue(vec![1, 1], 6);
+        while arq.backlog() > 0 {
+            if arq.poll().is_some() {
+                arq.reject();
+            }
+        }
+        let h = arq.histograms();
+        assert_eq!(h.delivered_attempts[0], 1);
+        assert_eq!(h.delivered_attempts[1], 1);
+        assert_eq!(h.failed_attempts[2], 1);
+        assert_eq!(h.delivery_latency[0], 1, "{h:?}");
+        assert_eq!(h.delivery_latency[3], 1, "latency 3 lands in the 3-4 bucket: {h:?}");
+        assert_eq!(h.attempts_quantile(0.5), Some(1));
+        assert_eq!(h.attempts_quantile(1.0), Some(2));
+
+        let mut merged = ArqHistograms::default();
+        merged.merge(h);
+        merged.merge(h);
+        assert_eq!(merged.delivered_attempts[0], 2);
+        assert_eq!(merged.failed_attempts[2], 2);
     }
 
     #[test]

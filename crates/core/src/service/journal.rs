@@ -1,0 +1,851 @@
+//! The deterministic replay journal: record a live service run, replay
+//! it bit-exactly offline.
+//!
+//! A live [`CosService`](super::CosService) run is nondeterministic in
+//! exactly one way: *how the worker's pumps interleave with the callers'
+//! admissions*. Everything below that line — engine sharding, session
+//! simulation, fault classification — is already deterministic
+//! (`docs/DETERMINISM.md`). So the journal does not try to make the live
+//! run deterministic; it **records the interleaving that actually
+//! happened** as an ordered event log:
+//!
+//! * table registrations ([`add_payload`](super::ServiceCore::add_payload)
+//!   / [`add_control`](super::ServiceCore::add_control)),
+//! * session lifecycle (create with config + seed, release) by creation
+//!   ordinal,
+//! * fault injections (poison / stall, keyed by admission ticket),
+//! * admissions (session ordinal, payload ordinal, job kind),
+//! * cancellations, pumps, and the drain transition.
+//!
+//! Replaying the log through a fresh tick-driven
+//! [`ServiceCore`](super::ServiceCore) applies the same events in the
+//! same order, so every admitted ticket meets the same queue state, the
+//! same fault schedule and the same session state — and resolves to the
+//! same [`ServiceOutcome`](super::ServiceOutcome). Rejections replay
+//! identically too (admission is a pure function of journaled state), so
+//! rejected submissions simply do not appear in the log. The sealed
+//! journal embeds the live run's final outcome digest;
+//! [`ReplayJournal::replay`] recomputes the digest and compares. Because
+//! the engine's outcomes are thread-invariant, the comparison holds at
+//! **any** `COS_THREADS` — the storm gates 1/4/8.
+//!
+//! The byte format is a versioned little-endian tag-length-value stream
+//! (`COSJNL1\n` magic); `f64`s are stored as IEEE 754 bit patterns so
+//! round-tripping is exact.
+
+use super::{ServiceConfig, ServiceCore, ServiceJobKind, ServiceOutcome, ServiceResult, Ticket};
+use crate::adaptation::{AdaptationConfig, ProbeEvent, StaircaseEvent};
+use crate::engine::{ControlId, JobResult, PayloadId, SessionId};
+use crate::resilience::{LinkMode, ResilienceConfig};
+use crate::session::SessionConfig;
+use cos_channel::ChannelConfig;
+use cos_phy::rates::DataRate;
+
+const MAGIC: &[u8; 8] = b"COSJNL1\n";
+
+/// Running FNV-1a digest over service outcomes — the same construction
+/// as the storm benches, shared by live runs and replays.
+#[derive(Debug, Clone)]
+pub struct OutcomeDigest(u64);
+
+impl Default for OutcomeDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutcomeDigest {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        OutcomeDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64v(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usizev(&mut self, v: usize) {
+        self.u64v(v as u64);
+    }
+
+    fn f64v(&mut self, v: f64) {
+        self.u64v(v.to_bits());
+    }
+
+    fn boolv(&mut self, v: bool) {
+        self.byte(v as u8);
+    }
+
+    /// Folds one resolved outcome into the digest.
+    pub fn outcome(&mut self, o: &ServiceOutcome) {
+        self.u64v(o.ticket.value());
+        self.u64v(o.session.index() as u64);
+        self.u64v(o.session.generation() as u64);
+        match &o.result {
+            ServiceResult::Completed(r) => {
+                self.byte(0);
+                self.job_result(r);
+            }
+            ServiceResult::Expired => self.byte(1),
+            ServiceResult::Quarantined(reason) => {
+                self.byte(2);
+                self.byte(*reason as u8);
+            }
+            ServiceResult::Cancelled => self.byte(3),
+        }
+    }
+
+    fn job_result(&mut self, r: &JobResult) {
+        match r {
+            JobResult::Plain(p) => {
+                self.byte(0);
+                self.packet(p);
+            }
+            JobResult::Resilient(s) => {
+                self.byte(1);
+                self.packet(&s.packet);
+                self.byte(link_mode_code(s.mode));
+                self.byte(link_mode_code(s.mode_after));
+                self.boolv(s.control_attempted);
+                self.boolv(s.control_acked);
+                self.boolv(s.feedback_delivered);
+                self.byte(s.phy_error.is_some() as u8);
+            }
+            JobResult::Adaptive(s) => {
+                self.byte(2);
+                self.packet(&s.packet);
+                self.f64v(s.ewma_snr_db);
+                self.usizev(s.budget);
+                self.byte(rate_code(s.rate_after));
+                self.usizev(s.budget_after);
+                self.byte(s.search_state as u8);
+                self.byte(staircase_code(s.staircase_event));
+                self.byte(probe_code(s.probe_event));
+                self.boolv(s.control_acked);
+                self.boolv(s.feedback_delivered);
+            }
+            JobResult::StaleSession => self.byte(3),
+        }
+    }
+
+    fn packet(&mut self, p: &crate::session::PacketSummary) {
+        self.boolv(p.data_ok);
+        self.boolv(p.control_present);
+        self.boolv(p.control_ok);
+        self.usizev(p.silences_sent);
+        self.usizev(p.detection.false_positives);
+        self.usizev(p.detection.false_negatives);
+        self.usizev(p.detection.actual_silences);
+        self.usizev(p.detection.actual_normals);
+        self.f64v(p.measured_snr_db);
+        self.byte(rate_code(p.rate));
+        self.usizev(p.selected_len);
+        self.u64v(p.selected_hash);
+        self.u64v(p.control_hash);
+    }
+
+    /// The digest value so far.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+fn link_mode_code(m: LinkMode) -> u8 {
+    match m {
+        LinkMode::Cos => 0,
+        LinkMode::DataOnly => 1,
+        LinkMode::Probing => 2,
+    }
+}
+
+fn rate_code(r: DataRate) -> u8 {
+    DataRate::ALL.iter().position(|&x| x == r).unwrap_or(usize::from(u8::MAX)) as u8
+}
+
+fn staircase_code(e: StaircaseEvent) -> u8 {
+    match e {
+        StaircaseEvent::Hold => 0,
+        StaircaseEvent::Acquire => 1,
+        StaircaseEvent::Upgrade => 2,
+        StaircaseEvent::Downgrade => 3,
+        StaircaseEvent::Fallback => 4,
+    }
+}
+
+fn probe_code(e: ProbeEvent) -> u8 {
+    match e {
+        ProbeEvent::Hold => 0,
+        ProbeEvent::Confirmed => 1,
+        ProbeEvent::Failed => 2,
+        ProbeEvent::Completed => 3,
+        ProbeEvent::BackedOff => 4,
+        ProbeEvent::Restarted => 5,
+    }
+}
+
+/// One recorded state-changing call (crate-internal; the byte stream is
+/// the public contract).
+#[derive(Debug, Clone)]
+pub(crate) enum JournalEvent {
+    /// `add_payload` bytes.
+    Payload(Box<[u8]>),
+    /// `add_control` bits.
+    Control(Box<[u8]>),
+    /// `create_session` with config and seed (boxed to keep the enum
+    /// small — this is the rare variant).
+    CreateSession {
+        config: Box<SessionConfig>,
+        seed: u64,
+    },
+    /// `release_session`, by creation ordinal.
+    ReleaseSession {
+        ordinal: u32,
+    },
+    /// A successful `try_submit`. `kind`: 0 plain, 1 resilient,
+    /// 2 adaptive; `control` is the control ordinal (plain) or
+    /// `u32::MAX`.
+    Admit {
+        ordinal: u32,
+        payload: u32,
+        kind: u8,
+        control: u32,
+    },
+    /// A successful `cancel`.
+    Cancel {
+        ticket: u64,
+    },
+    /// One `pump`.
+    Pump,
+    /// `begin_drain`.
+    BeginDrain,
+    /// `inject_poison`.
+    Poison {
+        ticket: u64,
+    },
+    /// `inject_stall`.
+    Stall {
+        ticket: u64,
+        ticks: u32,
+    },
+}
+
+/// Why a journal byte stream failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalError {
+    /// The stream ended mid-record.
+    Truncated,
+    /// The magic header did not match.
+    BadMagic,
+    /// An unknown event tag.
+    BadTag(u8),
+    /// A field held an out-of-domain value.
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Truncated => write!(f, "journal truncated"),
+            JournalError::BadMagic => write!(f, "journal magic mismatch"),
+            JournalError::BadTag(t) => write!(f, "unknown journal event tag {t}"),
+            JournalError::BadValue(what) => write!(f, "journal field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// The outcome of replaying a sealed journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// The live run's sealed digest (`None` when replaying an unsealed
+    /// journal).
+    pub live_digest: Option<u64>,
+    /// The digest the replay produced.
+    pub replay_digest: u64,
+    /// Outcomes the replay resolved.
+    pub outcomes: usize,
+}
+
+impl ReplayReport {
+    /// Whether the replay reproduced the live run bit-exactly. `false`
+    /// for unsealed journals.
+    pub fn matches(&self) -> bool {
+        self.live_digest == Some(self.replay_digest)
+    }
+}
+
+/// The event log of one service run — see the module docs.
+#[derive(Debug, Clone)]
+pub struct ReplayJournal {
+    config: ServiceConfig,
+    events: Vec<JournalEvent>,
+    final_digest: Option<u64>,
+}
+
+impl ReplayJournal {
+    pub(crate) fn new(config: ServiceConfig) -> Self {
+        ReplayJournal { config, events: Vec::new(), final_digest: None }
+    }
+
+    pub(crate) fn push(&mut self, event: JournalEvent) {
+        self.events.push(event);
+    }
+
+    pub(crate) fn seal(&mut self, digest: u64) {
+        self.final_digest = Some(digest);
+    }
+
+    /// Events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The live run's sealed outcome digest, once sealed.
+    pub fn final_digest(&self) -> Option<u64> {
+        self.final_digest
+    }
+
+    /// The recorded service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Serializes the journal to its versioned byte format.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(64 + self.events.len() * 4);
+        w.extend_from_slice(MAGIC);
+        write_service_config(&mut w, &self.config);
+        match self.final_digest {
+            Some(d) => {
+                w.push(1);
+                w_u64(&mut w, d);
+            }
+            None => w.push(0),
+        }
+        w_u64(&mut w, self.events.len() as u64);
+        for ev in &self.events {
+            write_event(&mut w, ev);
+        }
+        w
+    }
+
+    /// Decodes a journal from bytes produced by
+    /// [`serialize`](Self::serialize).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut r = Reader { bytes, at: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let config = read_service_config(&mut r)?;
+        let final_digest = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return Err(JournalError::BadValue("digest flag")),
+        };
+        let n = r.u64()? as usize;
+        if n > bytes.len() {
+            // Each event costs at least one tag byte; a count beyond the
+            // stream length is corruption, not a huge journal.
+            return Err(JournalError::BadValue("event count"));
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(read_event(&mut r)?);
+        }
+        if r.at != bytes.len() {
+            return Err(JournalError::BadValue("trailing bytes"));
+        }
+        Ok(ReplayJournal { config, events, final_digest })
+    }
+
+    /// Replays the log through a fresh [`ServiceCore`] with `threads`
+    /// engine workers (0 resolves like
+    /// [`crate::engine::configured_threads`]) and compares outcome
+    /// digests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal is internally inconsistent (an event refers
+    /// to a session/payload ordinal that was never recorded, or a
+    /// recorded admission replays as a rejection) — both indicate a
+    /// corrupted or hand-edited log rather than a failed comparison.
+    pub fn replay(&self, threads: usize) -> ReplayReport {
+        let mut cfg = self.config.clone();
+        cfg.engine.threads = threads;
+        let mut core = ServiceCore::new(cfg);
+        let mut sessions: Vec<SessionId> = Vec::new();
+        let mut payloads: Vec<PayloadId> = Vec::new();
+        let mut controls: Vec<ControlId> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                JournalEvent::Payload(b) => payloads.push(core.add_payload(b)),
+                JournalEvent::Control(b) => controls.push(core.add_control(b)),
+                JournalEvent::CreateSession { config, seed } => {
+                    sessions.push(core.create_session(config.as_ref().clone(), *seed));
+                }
+                JournalEvent::ReleaseSession { ordinal } => {
+                    let id = sessions[*ordinal as usize];
+                    assert!(core.release_session(id), "replay divergence: release");
+                }
+                JournalEvent::Admit { ordinal, payload, kind, control } => {
+                    let k = match kind {
+                        0 => ServiceJobKind::Plain(controls[*control as usize]),
+                        1 => ServiceJobKind::Resilient,
+                        2 => ServiceJobKind::Adaptive,
+                        _ => unreachable!("kind validated at decode"),
+                    };
+                    let session = sessions[*ordinal as usize];
+                    let r = core.try_submit(session, payloads[*payload as usize], k);
+                    assert!(r.is_ok(), "replay divergence: admission rejected");
+                }
+                JournalEvent::Cancel { ticket } => {
+                    assert!(core.cancel(Ticket(*ticket)), "replay divergence: cancel");
+                }
+                JournalEvent::Pump => {
+                    core.pump();
+                }
+                JournalEvent::BeginDrain => core.begin_drain(),
+                JournalEvent::Poison { ticket } => core.inject_poison(*ticket),
+                JournalEvent::Stall { ticket, ticks } => core.inject_stall(*ticket, *ticks),
+            }
+        }
+        ReplayReport {
+            live_digest: self.final_digest,
+            replay_digest: core.digest(),
+            outcomes: core.outcomes().len(),
+        }
+    }
+}
+
+// --- byte-level writers/readers -----------------------------------------
+
+fn w_u8(w: &mut Vec<u8>, v: u8) {
+    w.push(v);
+}
+
+fn w_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_usize(w: &mut Vec<u8>, v: usize) {
+    w_u64(w, v as u64);
+}
+
+fn w_f64(w: &mut Vec<u8>, v: f64) {
+    w_u64(w, v.to_bits());
+}
+
+fn w_bytes(w: &mut Vec<u8>, v: &[u8]) {
+    w_u64(w, v.len() as u64);
+    w.extend_from_slice(v);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        let end = self.at.checked_add(n).ok_or(JournalError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(JournalError::Truncated);
+        }
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, JournalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn usize_(&mut self) -> Result<usize, JournalError> {
+        usize::try_from(self.u64()?).map_err(|_| JournalError::BadValue("usize"))
+    }
+
+    fn f64(&mut self) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bytes_(&mut self) -> Result<Box<[u8]>, JournalError> {
+        let n = self.u64()? as usize;
+        if n > self.bytes.len() {
+            return Err(JournalError::Truncated);
+        }
+        Ok(self.take(n)?.into())
+    }
+}
+
+fn write_service_config(w: &mut Vec<u8>, c: &ServiceConfig) {
+    w_usize(w, c.queue_capacity);
+    w_usize(w, c.session_quota);
+    w_usize(w, c.max_inflight);
+    w_u64(w, c.deadline_ticks);
+    w_u32(w, c.retry_budget);
+    w_u64(w, c.retry_backoff_cap);
+    w_u64(w, c.stall_ticks);
+    w_usize(w, c.dead_letter_capacity);
+    w_usize(w, c.batch_limit);
+    w_usize(w, c.shed_divisor);
+    write_resilience_config(w, &c.health);
+    w_usize(w, c.engine.threads);
+    w_u64(w, c.wall_patience_ms);
+}
+
+fn read_service_config(r: &mut Reader<'_>) -> Result<ServiceConfig, JournalError> {
+    Ok(ServiceConfig {
+        queue_capacity: r.usize_()?,
+        session_quota: r.usize_()?,
+        max_inflight: r.usize_()?,
+        deadline_ticks: r.u64()?,
+        retry_budget: r.u32()?,
+        retry_backoff_cap: r.u64()?,
+        stall_ticks: r.u64()?,
+        dead_letter_capacity: r.usize_()?,
+        batch_limit: r.usize_()?,
+        shed_divisor: r.usize_()?,
+        health: read_resilience_config(r)?,
+        engine: crate::engine::EngineConfig { threads: r.usize_()? },
+        wall_patience_ms: r.u64()?,
+    })
+}
+
+fn write_resilience_config(w: &mut Vec<u8>, c: &ResilienceConfig) {
+    w_u32(w, c.stale_after);
+    w_usize(w, c.ctrl_window);
+    w_usize(w, c.ctrl_fail_budget);
+    w_f64(w, c.fa_spike);
+    w_f64(w, c.fa_alpha);
+    w_f64(w, c.recalib_step_db);
+    w_f64(w, c.max_bias_db);
+    w_u32(w, c.reprobe_backoff);
+    w_u32(w, c.reprobe_backoff_max);
+    w_u32(w, c.arq_max_retries);
+    w_u32(w, c.arq_backoff);
+    w_u32(w, c.arq_backoff_max);
+}
+
+fn read_resilience_config(r: &mut Reader<'_>) -> Result<ResilienceConfig, JournalError> {
+    Ok(ResilienceConfig {
+        stale_after: r.u32()?,
+        ctrl_window: r.usize_()?,
+        ctrl_fail_budget: r.usize_()?,
+        fa_spike: r.f64()?,
+        fa_alpha: r.f64()?,
+        recalib_step_db: r.f64()?,
+        max_bias_db: r.f64()?,
+        reprobe_backoff: r.u32()?,
+        reprobe_backoff_max: r.u32()?,
+        arq_max_retries: r.u32()?,
+        arq_backoff: r.u32()?,
+        arq_backoff_max: r.u32()?,
+    })
+}
+
+fn write_adaptation_config(w: &mut Vec<u8>, c: &AdaptationConfig) {
+    w_f64(w, c.snr_alpha);
+    w_f64(w, c.up_margin_db);
+    w_f64(w, c.down_margin_db);
+    w_u32(w, c.up_dwell);
+    w_u32(w, c.miss_fallback);
+    w_usize(w, c.base_budget);
+    w_usize(w, c.probe_step);
+    w_usize(w, c.max_budget);
+    w_u32(w, c.max_probes);
+    w_u32(w, c.complete_fail_budget);
+}
+
+fn read_adaptation_config(r: &mut Reader<'_>) -> Result<AdaptationConfig, JournalError> {
+    Ok(AdaptationConfig {
+        snr_alpha: r.f64()?,
+        up_margin_db: r.f64()?,
+        down_margin_db: r.f64()?,
+        up_dwell: r.u32()?,
+        miss_fallback: r.u32()?,
+        base_budget: r.usize_()?,
+        probe_step: r.usize_()?,
+        max_budget: r.usize_()?,
+        max_probes: r.u32()?,
+        complete_fail_budget: r.u32()?,
+    })
+}
+
+fn write_session_config(w: &mut Vec<u8>, c: &SessionConfig) {
+    w_usize(w, c.channel.n_taps);
+    w_f64(w, c.channel.tap_decay);
+    w_f64(w, c.channel.k_factor);
+    w_f64(w, c.channel.doppler_hz);
+    w_f64(w, c.snr_db);
+    w_u8(w, c.rate.map_or(u8::MAX, rate_code));
+    w_f64(w, c.detector_bias_db);
+    w_usize(w, c.bits_per_interval);
+    w_usize(w, c.min_control_subcarriers);
+    w_f64(w, c.packet_interval);
+    match &c.resilience {
+        Some(rc) => {
+            w_u8(w, 1);
+            write_resilience_config(w, rc);
+        }
+        None => w_u8(w, 0),
+    }
+    match &c.adaptation {
+        Some(ac) => {
+            w_u8(w, 1);
+            write_adaptation_config(w, ac);
+        }
+        None => w_u8(w, 0),
+    }
+}
+
+fn read_session_config(r: &mut Reader<'_>) -> Result<SessionConfig, JournalError> {
+    let channel = ChannelConfig {
+        n_taps: r.usize_()?,
+        tap_decay: r.f64()?,
+        k_factor: r.f64()?,
+        doppler_hz: r.f64()?,
+    };
+    let snr_db = r.f64()?;
+    let rate = match r.u8()? {
+        u8::MAX => None,
+        i if (i as usize) < DataRate::ALL.len() => Some(DataRate::ALL[i as usize]),
+        _ => return Err(JournalError::BadValue("rate index")),
+    };
+    Ok(SessionConfig {
+        channel,
+        snr_db,
+        rate,
+        detector_bias_db: r.f64()?,
+        bits_per_interval: r.usize_()?,
+        min_control_subcarriers: r.usize_()?,
+        packet_interval: r.f64()?,
+        resilience: match r.u8()? {
+            0 => None,
+            1 => Some(read_resilience_config(r)?),
+            _ => return Err(JournalError::BadValue("resilience flag")),
+        },
+        adaptation: match r.u8()? {
+            0 => None,
+            1 => Some(read_adaptation_config(r)?),
+            _ => return Err(JournalError::BadValue("adaptation flag")),
+        },
+    })
+}
+
+fn write_event(w: &mut Vec<u8>, ev: &JournalEvent) {
+    match ev {
+        JournalEvent::Payload(b) => {
+            w_u8(w, 1);
+            w_bytes(w, b);
+        }
+        JournalEvent::Control(b) => {
+            w_u8(w, 2);
+            w_bytes(w, b);
+        }
+        JournalEvent::CreateSession { config, seed } => {
+            w_u8(w, 3);
+            write_session_config(w, config);
+            w_u64(w, *seed);
+        }
+        JournalEvent::ReleaseSession { ordinal } => {
+            w_u8(w, 4);
+            w_u32(w, *ordinal);
+        }
+        JournalEvent::Admit { ordinal, payload, kind, control } => {
+            w_u8(w, 5);
+            w_u32(w, *ordinal);
+            w_u32(w, *payload);
+            w_u8(w, *kind);
+            w_u32(w, *control);
+        }
+        JournalEvent::Cancel { ticket } => {
+            w_u8(w, 6);
+            w_u64(w, *ticket);
+        }
+        JournalEvent::Pump => w_u8(w, 7),
+        JournalEvent::BeginDrain => w_u8(w, 8),
+        JournalEvent::Poison { ticket } => {
+            w_u8(w, 9);
+            w_u64(w, *ticket);
+        }
+        JournalEvent::Stall { ticket, ticks } => {
+            w_u8(w, 10);
+            w_u64(w, *ticket);
+            w_u32(w, *ticks);
+        }
+    }
+}
+
+fn read_event(r: &mut Reader<'_>) -> Result<JournalEvent, JournalError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        1 => JournalEvent::Payload(r.bytes_()?),
+        2 => JournalEvent::Control(r.bytes_()?),
+        3 => {
+            let config = Box::new(read_session_config(r)?);
+            let seed = r.u64()?;
+            JournalEvent::CreateSession { config, seed }
+        }
+        4 => JournalEvent::ReleaseSession { ordinal: r.u32()? },
+        5 => {
+            let ordinal = r.u32()?;
+            let payload = r.u32()?;
+            let kind = r.u8()?;
+            if kind > 2 {
+                return Err(JournalError::BadValue("job kind"));
+            }
+            let control = r.u32()?;
+            JournalEvent::Admit { ordinal, payload, kind, control }
+        }
+        6 => JournalEvent::Cancel { ticket: r.u64()? },
+        7 => JournalEvent::Pump,
+        8 => JournalEvent::BeginDrain,
+        9 => JournalEvent::Poison { ticket: r.u64()? },
+        10 => JournalEvent::Stall { ticket: r.u64()?, ticks: r.u32()? },
+        t => return Err(JournalError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptation::AdaptationConfig;
+    use crate::service::ServiceCore;
+
+    fn journaled_run() -> (ServiceCore, ReplayJournal) {
+        let cfg = ServiceConfig {
+            engine: crate::engine::EngineConfig { threads: 1 },
+            retry_budget: 1,
+            stall_ticks: 3,
+            ..ServiceConfig::default()
+        };
+        let mut core = ServiceCore::with_journal(cfg);
+        let plain = core.create_session(SessionConfig::default(), 11);
+        let fancy = core.create_session(
+            SessionConfig {
+                snr_db: 21.0,
+                rate: Some(DataRate::Mbps12),
+                resilience: Some(ResilienceConfig::default()),
+                adaptation: Some(AdaptationConfig::default()),
+                ..SessionConfig::default()
+            },
+            12,
+        );
+        let payload = core.add_payload(&[0xC3; 140]);
+        let control = core.add_control(&[1, 0, 0, 1]);
+        core.inject_poison(2);
+        core.inject_stall(4, 2);
+        let mut cancel_me = None;
+        for i in 0..8 {
+            let (s, k) = match i % 4 {
+                0 => (plain, ServiceJobKind::Plain(control)),
+                1 => (fancy, ServiceJobKind::Resilient),
+                2 => (fancy, ServiceJobKind::Adaptive),
+                _ => (plain, ServiceJobKind::Resilient),
+            };
+            let t = core.try_submit(s, payload, k).unwrap();
+            if i == 6 {
+                cancel_me = Some(t);
+            }
+            if i % 3 == 2 {
+                core.pump();
+            }
+        }
+        assert!(core.cancel(cancel_me.unwrap()));
+        core.release_session(plain);
+        core.begin_drain();
+        core.run_to_drained();
+        let journal = core.seal_journal().expect("journaling was on");
+        (core, journal)
+    }
+
+    #[test]
+    fn serialize_roundtrips_byte_exactly() {
+        let (_, journal) = journaled_run();
+        let bytes = journal.serialize();
+        let decoded = ReplayJournal::deserialize(&bytes).expect("valid journal");
+        assert_eq!(decoded.serialize(), bytes);
+        assert_eq!(decoded.len(), journal.len());
+        assert_eq!(decoded.final_digest(), journal.final_digest());
+    }
+
+    #[test]
+    fn replay_reproduces_live_digest_at_any_thread_count() {
+        let (core, journal) = journaled_run();
+        let bytes = journal.serialize();
+        let decoded = ReplayJournal::deserialize(&bytes).expect("valid journal");
+        for threads in [1, 4, 8] {
+            let report = decoded.replay(threads);
+            assert!(report.matches(), "replay diverged at {threads} threads");
+            assert_eq!(report.outcomes, core.outcomes().len());
+        }
+    }
+
+    #[test]
+    fn unsealed_journal_never_matches() {
+        let mut core = ServiceCore::with_journal(ServiceConfig::default());
+        let s = core.create_session(SessionConfig::default(), 3);
+        let p = core.add_payload(&[0x11; 100]);
+        core.try_submit(s, p, ServiceJobKind::Resilient).unwrap();
+        core.run_to_drained();
+        // Take the journal WITHOUT sealing: clone the events via
+        // serialize-before-seal semantics.
+        let journal = {
+            let j = core.seal_journal().unwrap();
+            let mut unsealed = ReplayJournal::deserialize(&j.serialize()).unwrap();
+            unsealed.final_digest = None;
+            unsealed
+        };
+        let report = journal.replay(1);
+        assert!(!report.matches());
+        assert_eq!(report.live_digest, None);
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let (_, journal) = journaled_run();
+        let bytes = journal.serialize();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(ReplayJournal::deserialize(&bad_magic).unwrap_err(), JournalError::BadMagic);
+
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(ReplayJournal::deserialize(truncated).is_err());
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            ReplayJournal::deserialize(&trailing).unwrap_err(),
+            JournalError::BadValue("trailing bytes")
+        );
+
+        assert!(ReplayJournal::deserialize(b"").is_err());
+    }
+}

@@ -27,8 +27,8 @@ use crate::energy_detector::{Detection, DetectionAccuracy, EnergyDetector};
 use crate::interval::IntervalCodec;
 use crate::power_controller::{EmbedError, PowerController};
 use crate::resilience::{
-    corrupt_selection, ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition,
-    PacketObservation, PhyErrorTally, ResilienceConfig, ThresholdRecalibrator,
+    corrupt_selection, ArqHistograms, ArqStats, ControlArq, DegradedModeController, LinkMode,
+    ModeTransition, PacketObservation, PhyErrorTally, ResilienceConfig, ThresholdRecalibrator,
 };
 use crate::subcarrier_select::{select_control_subcarriers_into, SelectionPolicy};
 use crate::validation::{sanitize_selection, validate_silences_into};
@@ -518,6 +518,12 @@ impl CosSession {
         self.resilience.as_ref().map_or(0, |s| s.arq.backlog())
     }
 
+    /// Per-message attempt/latency histograms of the resilient-path ARQ
+    /// ([`ArqHistograms::default`] when that path has never run).
+    pub fn arq_histograms(&self) -> ArqHistograms {
+        self.resilience.as_ref().map_or_else(ArqHistograms::default, |s| *s.arq.histograms())
+    }
+
     /// Receive-chain failures tallied by kind (resilient path only).
     pub fn phy_errors(&self) -> Option<&PhyErrorTally> {
         self.resilience.as_ref().map(|s| &s.tally)
@@ -557,6 +563,11 @@ impl CosSession {
     /// Control messages still queued on the adaptive path.
     pub fn adaptive_backlog(&self) -> usize {
         self.adaptation.as_ref().map_or(0, |s| s.arq.backlog())
+    }
+
+    /// Per-message attempt/latency histograms of the adaptive-path ARQ.
+    pub fn adaptive_arq_histograms(&self) -> ArqHistograms {
+        self.adaptation.as_ref().map_or_else(ArqHistograms::default, |s| *s.arq.histograms())
     }
 
     /// The link-adaptation controller, once the adaptive path has run

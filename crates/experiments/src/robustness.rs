@@ -28,7 +28,7 @@ use cos_channel::{
     AgcTransient, BurstInterference, CfoDrift, CollisionOverlap, FaultEngine, FeedbackCorruption,
     FeedbackLoss, FeedbackStaleness, MidFrameTruncation,
 };
-use cos_core::resilience::{DegradeReason, LinkMode, ResilienceConfig};
+use cos_core::resilience::{ArqHistograms, DegradeReason, LinkMode, ResilienceConfig};
 use cos_core::session::{CosSession, SessionConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -197,6 +197,9 @@ pub struct TrialResult {
     pub phy_errors: u64,
     /// Messages still queued when the trial ended.
     pub residual_backlog: u64,
+    /// Per-message retry/backoff histograms (attempts per delivered and
+    /// per failed message, delivery latency in packets).
+    pub histograms: ArqHistograms,
 }
 
 /// Deterministic 8-bit control message for one (trial, packet) slot.
@@ -275,6 +278,7 @@ pub fn run_trial(scenario: &Scenario, cfg: &Config, trial: usize) -> TrialResult
             final_mode: Some(s.mode()),
             phy_errors: s.phy_errors().map_or(0, |t| t.total()),
             residual_backlog: s.arq_backlog() as u64,
+            histograms: s.arq_histograms(),
         }
     };
     match catch_unwind(AssertUnwindSafe(run)) {
@@ -318,6 +322,12 @@ pub struct ScenarioResult {
     pub panics: usize,
     /// Did the scenario meet its acceptance criteria?
     pub pass: bool,
+    /// Retry/backoff histograms merged across all live trials.
+    pub histograms: ArqHistograms,
+    /// Smallest attempt count covering 50 % of delivered messages.
+    pub attempts_p50: Option<usize>,
+    /// Smallest attempt count covering 99 % of delivered messages.
+    pub attempts_p99: Option<usize>,
 }
 
 /// Runs every trial of one scenario and aggregates.
@@ -344,6 +354,10 @@ pub fn run_scenario(scenario: &Scenario, cfg: &Config) -> ScenarioResult {
         Expectation::ParkInDataOnly => ended_data_only == live.len(),
     };
     let delivery_ok = !scenario.offer_control || delivery_rate >= 0.99;
+    let mut histograms = ArqHistograms::default();
+    for t in &live {
+        histograms.merge(&t.histograms);
+    }
     ScenarioResult {
         name: scenario.name,
         enqueued,
@@ -369,6 +383,9 @@ pub fn run_scenario(scenario: &Scenario, cfg: &Config) -> ScenarioResult {
         phy_errors: sum(|t| t.phy_errors),
         panics,
         pass: panics == 0 && terminal_ok && delivery_ok,
+        attempts_p50: histograms.attempts_quantile(0.5),
+        attempts_p99: histograms.attempts_quantile(0.99),
+        histograms,
     }
 }
 
@@ -389,6 +406,8 @@ pub fn run_soak(cfg: &Config) -> (Vec<ScenarioResult>, Table) {
             "failed",
             "delivery_rate",
             "mean_attempts",
+            "attempts_p50",
+            "attempts_p99",
             "mean_latency_pkts",
             "degrades",
             "recoveries",
@@ -409,6 +428,8 @@ pub fn run_soak(cfg: &Config) -> (Vec<ScenarioResult>, Table) {
             r.failed.to_string(),
             fmt(r.delivery_rate, 4),
             fmt(r.mean_attempts, 2),
+            r.attempts_p50.map_or_else(|| "-".to_string(), |q| q.to_string()),
+            r.attempts_p99.map_or_else(|| "-".to_string(), |q| q.to_string()),
             fmt(r.mean_delivery_latency, 2),
             r.degrades.to_string(),
             r.recoveries.to_string(),
@@ -434,10 +455,17 @@ pub fn to_bench_json(results: &[ScenarioResult], cfg: &Config) -> String {
          trial runs the full resilient CoS session (ARQ + threshold recalibration + degraded-mode \
          state machine) under catch_unwind; delivery rate counts ARQ-resolved control messages; \
          recovery latency is packets from Cos->DataOnly degradation to the ProbeRecovered \
-         transition. Deterministic at any --threads setting.\",\n",
+         transition. Retry/backoff histograms bucket per-message attempts (delivered and \
+         failed separately; bucket k = k attempts, last bucket 10+) and enqueue-to-confirmation \
+         latency in packets (1,1,1,2,4,8,16,33+ bucket widths), merged across trials. \
+         Deterministic at any --threads setting.\",\n",
         cfg.trials, cfg.packets, cfg.snr_db, cfg.window.0, cfg.window.1
     ));
     out.push_str("  \"scenarios\": {\n");
+    let list = |xs: &[u64]| {
+        xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+    };
+    let quantile = |q: Option<usize>| q.map_or_else(|| "null".to_string(), |v| v.to_string());
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": {{\n      \"delivery_rate\": {:.4},\n      \"delivered\": {},\n      \
@@ -445,7 +473,11 @@ pub fn to_bench_json(results: &[ScenarioResult], cfg: &Config) -> String {
              \"degrades\": {},\n      \"recoveries\": {},\n      \
              \"mean_recovery_pkts\": {:.2},\n      \"ended_cos\": {},\n      \
              \"ended_data_only\": {},\n      \"data_prr\": {:.4},\n      \
-             \"phy_errors\": {},\n      \"panics\": {},\n      \"pass\": {}\n    }}{}\n",
+             \"phy_errors\": {},\n      \"panics\": {},\n      \"pass\": {},\n      \
+             \"attempts_p50\": {},\n      \"attempts_p99\": {},\n      \
+             \"delivered_attempts_hist\": [{}],\n      \
+             \"failed_attempts_hist\": [{}],\n      \
+             \"delivery_latency_hist\": [{}]\n    }}{}\n",
             r.name,
             r.delivery_rate,
             r.delivered,
@@ -460,6 +492,11 @@ pub fn to_bench_json(results: &[ScenarioResult], cfg: &Config) -> String {
             r.phy_errors,
             r.panics,
             r.pass,
+            quantile(r.attempts_p50),
+            quantile(r.attempts_p99),
+            list(&r.histograms.delivered_attempts),
+            list(&r.histograms.failed_attempts),
+            list(&r.histograms.delivery_latency),
             if i + 1 == results.len() { "" } else { "," }
         ));
     }

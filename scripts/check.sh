@@ -37,6 +37,9 @@ cargo run -q --release -p cos-bench --bin session_storm -- --smoke
 echo "== adaptation_storm --smoke (closed-loop controller: adaptive outcomes byte-identical at 1/4/8 threads + drift-duel gate)"
 cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke
 
+echo "== service_storm --smoke (async service chaos: zero lost jobs under stalls/poison/overflow, digests identical at 1/4/8 threads, journal replays byte-exactly)"
+cargo run -q --release -p cos-bench --bin service_storm -- --smoke
+
 echo "== docs link check (relative links and backticked *.md references must resolve)"
 scripts/linkcheck.sh
 
