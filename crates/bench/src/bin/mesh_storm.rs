@@ -1,0 +1,221 @@
+//! Mesh storm: determinism and coordination quality gate for
+//! `cos_core::mesh` at fleet scale.
+//!
+//! Two phases:
+//!
+//! 1. **Cross-thread determinism under churn** — builds the same fleet of
+//!    cells (≥1024 stations, two sessions each: adaptive data uplink +
+//!    resilient control subsession) three times and runs the identical
+//!    tick schedule through [`MeshNet`] at 1, 4 and 8 engine worker
+//!    threads, replacing a striped set of stations between rounds (churn:
+//!    released sessions recycle through the pool, joiners get the
+//!    coordination policy's admission sequence). The net's running FNV
+//!    digest — every frame outcome, command issue/apply and churn event —
+//!    must be byte-identical across thread counts.
+//! 2. **Coordination duel** — the `fig08_mesh` sweep from
+//!    `cos_experiments::mesh`: hidden-cluster cells run CoS-coordinated
+//!    vs uncoordinated on paired seeds. Coordinated cells must beat the
+//!    CSMA baseline on aggregate goodput while delivering ≥99 % of their
+//!    control plane (scheduling commands + uplink control messages).
+//!
+//! Writes `BENCH_pr8.json` to the current directory and exits non-zero on
+//! any determinism or duel failure. `--smoke` runs a reduced fleet (still
+//! ≥1024 stations) and the quick duel config; `--cells N` / `--rounds N`
+//! override the storm scale.
+
+use std::time::Instant;
+
+use cos_core::engine::EngineConfig;
+use cos_core::mesh::{MeshConfig, MeshNet, MeshTopology};
+use cos_experiments::mesh as mesh_exp;
+
+/// Stations per cell; cells × stations is the fleet size.
+const STATIONS_PER_CELL: usize = 16;
+
+/// Cell topology for cell `ci`: hidden clusters of varying split and a
+/// per-cell SNR, so the fleet is heterogeneous but fully seeded.
+fn storm_topology(ci: usize) -> MeshTopology {
+    let clusters = 2 + ci % 3;
+    let snr_db = 16.0 + (ci % 8) as f64;
+    MeshTopology::hidden_clusters(STATIONS_PER_CELL, clusters, snr_db)
+}
+
+/// Cell config for cell `ci`: three quarters coordinated, one quarter
+/// CSMA baseline (uncoordinated cells must stay deterministic too).
+fn storm_config(ci: usize) -> MeshConfig {
+    let mut cfg = MeshConfig {
+        seed: 0x4D45_5348u64.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(ci as u64),
+        ..MeshConfig::default()
+    };
+    if ci % 4 == 3 {
+        cfg.coordination = None;
+    }
+    cfg
+}
+
+struct StormResult {
+    digest: u64,
+    frames: u64,
+    churns: u64,
+    ticks_per_sec: f64,
+}
+
+/// One full storm at a fixed worker-thread count: identical fleet,
+/// identical tick schedule, identical churn stripes.
+fn run_storm(cells: usize, rounds: usize, ticks_per_round: u64, threads: usize) -> StormResult {
+    let mut net = MeshNet::new(EngineConfig { threads });
+    for ci in 0..cells {
+        net.add_cell(storm_topology(ci), storm_config(ci));
+    }
+    let start = Instant::now();
+    for r in 0..rounds {
+        net.run(ticks_per_round);
+        // Churn a stripe of the fleet: every 7th cell (phase-shifted per
+        // round) replaces one station. Joiners in coordinated cells get
+        // the policy's admission sequence (mute + TDMA + grant + unmute)
+        // through the control plane.
+        for ci in (r % 7..cells).step_by(7) {
+            net.replace_station(ci, (r * 5 + ci) % STATIONS_PER_CELL);
+        }
+    }
+    net.run(ticks_per_round);
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_ticks = (rounds as u64 + 1) * ticks_per_round;
+    let mut frames = 0u64;
+    let mut churns = 0u64;
+    for ci in 0..cells {
+        let r = net.report(ci);
+        frames += r.frames + r.beacons;
+        churns += r.churns;
+    }
+    StormResult {
+        digest: net.digest(),
+        frames,
+        churns,
+        ticks_per_sec: total_ticks as f64 / elapsed,
+    }
+}
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
+            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+        }
+        if arg == &format!("--{name}") {
+            let v = args.get(i + 1).unwrap_or_else(|| panic!("--{name} requires a value"));
+            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+        }
+    }
+    None
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // ≥1024 stations in both modes: the bar the mesh subsystem is held to.
+    let cells = arg_value("cells").unwrap_or(if smoke { 64 } else { 96 });
+    let rounds = arg_value("rounds").unwrap_or(if smoke { 2 } else { 4 });
+    let ticks_per_round: u64 = if smoke { 4 } else { 8 };
+    let stations = cells * STATIONS_PER_CELL;
+    assert!(stations >= 1024, "mesh_storm must cover at least 1024 stations, got {stations}");
+
+    eprintln!(
+        "mesh_storm: {cells} cells x {STATIONS_PER_CELL} stations = {stations}, \
+         {rounds}+1 rounds x {ticks_per_round} ticks, threads {THREAD_COUNTS:?}"
+    );
+
+    let storms: Vec<StormResult> =
+        THREAD_COUNTS.iter().map(|&t| run_storm(cells, rounds, ticks_per_round, t)).collect();
+    let deterministic = storms.iter().all(|s| s.digest == storms[0].digest);
+    for (t, s) in THREAD_COUNTS.iter().zip(&storms) {
+        eprintln!(
+            "  threads={t}: digest {:016x}, {} frames, {} churns, {:.1} ticks/sec",
+            s.digest, s.frames, s.churns, s.ticks_per_sec
+        );
+    }
+    assert!(storms[0].churns > 0, "the storm must actually churn stations");
+
+    let duel_cfg = if smoke { mesh_exp::Config::quick() } else { mesh_exp::Config::default() };
+    let points = mesh_exp::run_sweep(&duel_cfg);
+    let total = |coord: bool| {
+        points.iter().filter(|p| p.coordinated == coord).map(|p| p.goodput_mbps).sum::<f64>()
+    };
+    let (coordinated, csma) = (total(true), total(false));
+    let beats = coordinated > csma;
+    let min_delivery = points
+        .iter()
+        .filter(|p| p.coordinated)
+        .map(|p| p.control_delivery)
+        .fold(f64::INFINITY, f64::min);
+    let delivery_ok = min_delivery >= 0.99;
+    eprintln!(
+        "  duel: coordinated {coordinated:.4} Mbps vs csma {csma:.4} Mbps, \
+         min control delivery {min_delivery:.4}"
+    );
+
+    if !smoke {
+        let mut rows = String::new();
+        for (i, p) in points.iter().enumerate() {
+            rows.push_str(&format!(
+                "    {{ \"stations\": {}, \"scheme\": \"{}\", \"goodput_mbps\": {:.4}, \
+                 \"data_prr\": {:.4}, \"collision_rate\": {:.4}, \"control_delivery\": {:.4}, \
+                 \"cmd_delivered\": {} }}{}\n",
+                p.n,
+                if p.coordinated { "coordinated" } else { "csma" },
+                p.goodput_mbps,
+                p.data_prr,
+                p.collision_rate,
+                p.control_delivery,
+                p.cmd_delivered,
+                if i + 1 == points.len() { "" } else { "," }
+            ));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"mesh_storm\",\n  \"methodology\": \"Phase 1: {cells} cells x \
+             {STATIONS_PER_CELL} stations ({stations} stations, two sessions each) run the \
+             identical tick schedule through MeshNet at 1/4/8 engine threads, with a station \
+             churned in every 7th cell per round; the net's FNV digest over every frame outcome, \
+             command and churn event must match across thread counts. Phase 2: the fig08_mesh \
+             duel — hidden-cluster cells, CoS-coordinated vs CSMA on paired seeds over {} ticks x \
+             {} trials; coordinated must beat CSMA on aggregate goodput with >=99% control-plane \
+             delivery.\",\n  \"storm\": {{\n    \"cells\": {cells},\n    \"stations\": {stations},\n    \
+             \"rounds\": {rounds},\n    \"ticks_per_round\": {ticks_per_round},\n    \
+             \"frames\": {},\n    \"churns\": {},\n    \"thread_counts\": [1, 4, 8],\n    \
+             \"outcome_digest\": \"{:016x}\",\n    \"deterministic_across_threads\": {deterministic},\n    \
+             \"ticks_per_sec\": {{\n      \"threads_1\": {:.2},\n      \"threads_4\": {:.2},\n      \
+             \"threads_8\": {:.2}\n    }}\n  }},\n  \"duel\": [\n{rows}  ],\n  \
+             \"coordinated_goodput_mbps\": {coordinated:.4},\n  \"csma_goodput_mbps\": {csma:.4},\n  \
+             \"coordinated_beats_csma\": {beats},\n  \"min_control_delivery\": {min_delivery:.4}\n}}\n",
+            duel_cfg.ticks,
+            duel_cfg.trials,
+            storms[0].frames,
+            storms[0].churns,
+            storms[0].digest,
+            storms[0].ticks_per_sec,
+            storms[1].ticks_per_sec,
+            storms[2].ticks_per_sec,
+        );
+        std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+        print!("{json}");
+    }
+
+    let mut failed = false;
+    if !deterministic {
+        eprintln!("mesh_storm FAILED: mesh digests differ across thread counts");
+        failed = true;
+    }
+    if !beats {
+        eprintln!("mesh_storm FAILED: coordinated {coordinated:.4} Mbps <= csma {csma:.4} Mbps");
+        failed = true;
+    }
+    if !delivery_ok {
+        eprintln!("mesh_storm FAILED: min control delivery {min_delivery:.4} < 0.99");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("mesh_storm passed");
+}

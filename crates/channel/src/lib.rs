@@ -36,6 +36,7 @@ pub mod impairment;
 pub mod interference;
 pub mod link;
 pub mod multipath;
+pub mod overlap;
 pub mod sounder;
 
 pub use awgn::Awgn;
@@ -46,5 +47,6 @@ pub use impairment::{
 };
 pub use interference::PulseInterferer;
 pub use link::Link;
+pub use overlap::{Overlap, OverlapComposer};
 pub use multipath::{ChannelConfig, IndoorChannel};
 pub use sounder::ChannelSounder;

@@ -413,6 +413,37 @@ impl SilenceProbeSearch {
         self.reset();
         ProbeEvent::Restarted
     }
+
+    /// The largest budget the search will currently probe.
+    pub fn max_budget(&self) -> usize {
+        self.max
+    }
+
+    /// Retargets the search ceiling mid-flight — how an externally
+    /// granted budget (e.g. an AP coordination command) takes effect.
+    ///
+    /// The ceiling is floored at the base budget. Lowering it clamps the
+    /// confirmed budget and completes the search at the new ceiling;
+    /// raising it above the confirmed budget resumes `SEARCHING` upward
+    /// from the confirmed budget. A no-op ceiling (same value) leaves the
+    /// search entirely untouched, so callers may re-assert a grant freely.
+    pub fn set_max(&mut self, ceiling: usize) {
+        let ceiling = ceiling.max(self.base);
+        if ceiling == self.max {
+            return;
+        }
+        self.max = ceiling;
+        self.probe_count = 0;
+        self.complete_fails = 0;
+        if self.confirmed >= self.max {
+            self.confirmed = self.max;
+            self.probed = self.max;
+            self.state = ProbeState::SearchComplete;
+        } else {
+            self.state = ProbeState::Searching;
+            self.probed = (self.confirmed + self.step).min(self.max);
+        }
+    }
 }
 
 /// The transitions both state machines took for one packet.
@@ -440,6 +471,9 @@ pub struct LinkAdaptationController {
     staircase: RateStaircase,
     search: SilenceProbeSearch,
     misses: u32,
+    /// Externally imposed rate ceiling (e.g. an AP coordination
+    /// command); `None` leaves the staircase uncapped.
+    rate_cap: Option<DataRate>,
 }
 
 impl LinkAdaptationController {
@@ -455,12 +489,43 @@ impl LinkAdaptationController {
         let snr = SnrEstimator::new(cfg.snr_alpha);
         let staircase = RateStaircase::new(&cfg);
         let search = SilenceProbeSearch::new(&cfg);
-        LinkAdaptationController { cfg, snr, staircase, search, misses: 0 }
+        LinkAdaptationController { cfg, snr, staircase, search, misses: 0, rate_cap: None }
     }
 
-    /// The rate the next packet should use.
+    /// The rate the next packet should use: the staircase's selection,
+    /// clamped to any externally imposed [`rate cap`](Self::set_rate_cap).
     pub fn rate(&self) -> DataRate {
-        self.staircase.rate()
+        let rate = self.staircase.rate();
+        match self.rate_cap {
+            Some(cap) if cap < rate => cap,
+            _ => rate,
+        }
+    }
+
+    /// Imposes (or with `None` lifts) an external rate ceiling, e.g. an
+    /// AP coordination command pinning a persistently poor station to a
+    /// robust rate. The staircase keeps tracking the channel underneath —
+    /// only [`rate`](Self::rate) is clamped — so lifting the cap restores
+    /// the staircase's own selection instantly.
+    pub fn set_rate_cap(&mut self, cap: Option<DataRate>) {
+        self.rate_cap = cap;
+    }
+
+    /// The external rate ceiling in force, if any.
+    pub fn rate_cap(&self) -> Option<DataRate> {
+        self.rate_cap
+    }
+
+    /// Retargets the silence-budget ceiling (see
+    /// [`SilenceProbeSearch::set_max`]) — how an AP budget grant widens
+    /// or narrows the search space mid-session.
+    pub fn set_budget_ceiling(&mut self, ceiling: usize) {
+        self.search.set_max(ceiling);
+    }
+
+    /// The silence-budget ceiling the search currently probes within.
+    pub fn budget_ceiling(&self) -> usize {
+        self.search.max_budget()
     }
 
     /// The silence budget the next packet should carry.
@@ -716,6 +781,65 @@ mod tests {
         c.observe(Some(17.0), true, false);
         c.observe(Some(17.0), false, false);
         assert_eq!(c.target_budget(), before);
+    }
+
+    #[test]
+    fn rate_cap_clamps_without_disturbing_the_staircase() {
+        let mut c = LinkAdaptationController::new(cfg());
+        c.observe(Some(23.0), true, true);
+        assert_eq!(c.rate(), DataRate::Mbps54);
+        c.set_rate_cap(Some(DataRate::Mbps12));
+        assert_eq!(c.rate(), DataRate::Mbps12);
+        // The staircase keeps tracking underneath: feeding more high-SNR
+        // packets changes nothing visible while the cap holds…
+        c.observe(Some(23.0), true, true);
+        assert_eq!(c.rate(), DataRate::Mbps12);
+        // …and lifting the cap restores the staircase's own selection.
+        c.set_rate_cap(None);
+        assert_eq!(c.rate(), DataRate::Mbps54);
+        // A cap above the selection is inert.
+        let mut low = LinkAdaptationController::new(cfg());
+        low.observe(Some(9.0), true, true); // 12 Mbps
+        low.set_rate_cap(Some(DataRate::Mbps54));
+        assert_eq!(low.rate(), DataRate::Mbps12);
+    }
+
+    #[test]
+    fn budget_ceiling_lowers_and_resumes_search() {
+        let c = cfg(); // base 2, step 4, max 46
+        let mut p = SilenceProbeSearch::new(&c);
+        for _ in 0..3 {
+            p.observe(true); // confirm 6, 10, 14; target 18
+        }
+        assert_eq!(p.target_budget(), 18);
+        // Lowering below the confirmed budget clamps and completes.
+        p.set_max(10);
+        assert_eq!(p.state(), ProbeState::SearchComplete);
+        assert_eq!(p.confirmed_budget(), 10);
+        assert_eq!(p.target_budget(), 10);
+        // Re-asserting the same ceiling is a no-op.
+        p.set_max(10);
+        assert_eq!(p.state(), ProbeState::SearchComplete);
+        // Raising it resumes searching upward from the confirmed budget.
+        p.set_max(46);
+        assert_eq!(p.state(), ProbeState::Searching);
+        assert_eq!(p.target_budget(), 14);
+        assert_eq!(p.observe(true), ProbeEvent::Confirmed);
+        assert_eq!(p.confirmed_budget(), 14);
+        // The ceiling is floored at the base budget.
+        p.set_max(0);
+        assert_eq!(p.max_budget(), 2);
+        assert_eq!(p.target_budget(), 2);
+    }
+
+    #[test]
+    fn controller_budget_ceiling_routes_to_the_search() {
+        let mut c = LinkAdaptationController::new(cfg());
+        c.observe(Some(17.0), true, true); // acquire
+        c.observe(Some(17.0), true, true); // confirm 6
+        c.set_budget_ceiling(8);
+        assert_eq!(c.budget_ceiling(), 8);
+        assert_eq!(c.target_budget(), 8); // probe clamped to the grant
     }
 
     #[test]

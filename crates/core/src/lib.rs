@@ -51,6 +51,12 @@
 //!   8899-style **silence-budget probe search**, so each session
 //!   converges to the rate and silence budget its channel actually
 //!   supports (§II-B, Fig. 2; see `docs/ADAPTATION.md`),
+//! * [`mesh`] — the multi-node cell on top of the engine: N stations and
+//!   an AP on a shared channel ([`mesh::MeshNet`]), with mini-slot DCF
+//!   contention, hidden-terminal collisions composed through
+//!   [`Overlap`](cos_channel::Overlap) impairments, and an AP
+//!   [`CoordinationPolicy`](mesh::CoordinationPolicy) whose scheduling
+//!   commands ride the CoS silence plane for free (see `docs/MESH.md`),
 //! * [`service`] — the overload-safe async front door on the engine:
 //!   admission control with typed rejection, bounded queues with
 //!   deadlines and retry budgets, a watchdog + dead-letter quarantine,
@@ -78,6 +84,7 @@ pub mod energy_detector;
 pub mod engine;
 pub mod feedback;
 pub mod interval;
+pub mod mesh;
 pub mod messages;
 pub mod power_controller;
 pub mod resilience;
@@ -97,6 +104,10 @@ pub use engine::{
     PayloadId, SessionId, SessionPool,
 };
 pub use interval::IntervalCodec;
+pub use mesh::{
+    CoordinationConfig, CoordinationPolicy, MediumConfig, MediumScheduler, MeshCommand,
+    MeshConfig, MeshNet, MeshReport, MeshTopology, StationReport,
+};
 pub use power_controller::PowerController;
 pub use resilience::{
     ArqHistograms, ArqStats, ControlArq, DegradedModeController, LinkMode, ModeTransition,
@@ -109,7 +120,7 @@ pub use service::{
 };
 pub use session::{
     AdaptiveReport, AdaptiveSummary, CosSession, PacketSummary, ResilientReport, ResilientSummary,
-    SessionConfig,
+    SessionConfig, SessionMetrics,
 };
 pub use subcarrier_select::{select_control_subcarriers, SelectionPolicy};
 pub use validation::sanitize_selection;

@@ -1,0 +1,145 @@
+//! Who hears whom: the radio geometry of one mesh cell.
+//!
+//! A cell is `n` stations uplinking to a single AP. The AP hears every
+//! station (that is what the per-station uplink SNRs describe); the
+//! stations themselves only carrier-sense the stations the adjacency
+//! matrix says they hear. A missing edge is a **hidden-terminal pair**:
+//! two stations that cannot defer to each other and therefore collide at
+//! the AP — the paper's motivating scenario for pushing scheduling
+//! commands (for free, as CoS silences) instead of relying on carrier
+//! sense.
+
+/// The radio geometry of one mesh cell: `n` stations, one AP.
+///
+/// Hearing is stored as a row-major boolean matrix; `hears(i, j)` answers
+/// "does station `i` sense station `j`'s carrier?". The matrix is kept
+/// symmetric by the builders ([`hide_pair`](MeshTopology::hide_pair)
+/// clears both directions), but nothing below requires symmetry.
+#[derive(Debug, Clone)]
+pub struct MeshTopology {
+    n: usize,
+    hears: Vec<bool>,
+    snr_db: Vec<f64>,
+}
+
+impl MeshTopology {
+    /// Every station hears every other station; all uplinks at `snr_db`.
+    /// The classic single-collision-domain cell — no hidden terminals.
+    pub fn fully_connected(n: usize, snr_db: f64) -> Self {
+        Self::from_fn(n, |_| snr_db, |_, _| true)
+    }
+
+    /// Stations partitioned into `clusters` groups (station `i` joins
+    /// cluster `i % clusters`): stations hear their own cluster and are
+    /// hidden from every other. Two clusters is the textbook
+    /// hidden-terminal cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn hidden_clusters(n: usize, clusters: usize, snr_db: f64) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        Self::from_fn(n, |_| snr_db, |i, j| i % clusters == j % clusters)
+    }
+
+    /// Fully general builder: per-station uplink SNR from `snr`, hearing
+    /// from `hears`. The diagonal is forced true (a station trivially
+    /// "hears" itself).
+    pub fn from_fn(
+        n: usize,
+        snr: impl Fn(usize) -> f64,
+        hears: impl Fn(usize, usize) -> bool,
+    ) -> Self {
+        let mut m = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                m[i * n + j] = i == j || hears(i, j);
+            }
+        }
+        MeshTopology { n, hears: m, snr_db: (0..n).map(snr).collect() }
+    }
+
+    /// Number of stations in the cell.
+    pub fn n_stations(&self) -> usize {
+        self.n
+    }
+
+    /// Does station `i` carrier-sense station `j`? Always true for
+    /// `i == j`.
+    pub fn hears(&self, i: usize, j: usize) -> bool {
+        self.hears[i * self.n + j]
+    }
+
+    /// Makes `i` and `j` mutually hidden (clears both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` — a station cannot be hidden from itself.
+    pub fn hide_pair(&mut self, i: usize, j: usize) {
+        assert_ne!(i, j, "a station cannot be hidden from itself");
+        self.hears[i * self.n + j] = false;
+        self.hears[j * self.n + i] = false;
+    }
+
+    /// Station `i`'s uplink SNR at the AP, in dB.
+    pub fn snr_db(&self, i: usize) -> f64 {
+        self.snr_db[i]
+    }
+
+    /// Sets station `i`'s uplink SNR at the AP.
+    pub fn set_snr_db(&mut self, i: usize, snr_db: f64) {
+        self.snr_db[i] = snr_db;
+    }
+
+    /// Number of unordered station pairs that are mutually hidden.
+    pub fn hidden_pairs(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if !self.hears(i, j) && !self.hears(j, i) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_has_no_hidden_pairs() {
+        let t = MeshTopology::fully_connected(5, 20.0);
+        assert_eq!(t.n_stations(), 5);
+        assert_eq!(t.hidden_pairs(), 0);
+        assert!(t.hears(0, 4) && t.hears(4, 0));
+        assert_eq!(t.snr_db(3), 20.0);
+    }
+
+    #[test]
+    fn two_clusters_hide_exactly_the_cross_pairs() {
+        // 4 stations, clusters {0,2} and {1,3}: 2*2 cross pairs hidden.
+        let t = MeshTopology::hidden_clusters(4, 2, 18.0);
+        assert_eq!(t.hidden_pairs(), 4);
+        assert!(t.hears(0, 2), "same cluster must hear");
+        assert!(!t.hears(0, 1), "cross cluster must be hidden");
+        assert!(t.hears(1, 1), "diagonal is always true");
+    }
+
+    #[test]
+    fn hide_pair_clears_both_directions() {
+        let mut t = MeshTopology::fully_connected(3, 20.0);
+        t.hide_pair(0, 2);
+        assert!(!t.hears(0, 2) && !t.hears(2, 0));
+        assert_eq!(t.hidden_pairs(), 1);
+    }
+
+    #[test]
+    fn from_fn_sets_per_station_snr() {
+        let t = MeshTopology::from_fn(3, |i| 15.0 + i as f64, |i, j| i.abs_diff(j) <= 1);
+        assert_eq!(t.snr_db(2), 17.0);
+        assert!(t.hears(0, 1) && !t.hears(0, 2));
+    }
+}

@@ -177,6 +177,39 @@ struct SessionScratch {
     fb_selection: Vec<usize>,
 }
 
+/// Monotonic per-session counters, snapshot via
+/// [`CosSession::metrics`] — the netpoke-style observability surface a
+/// fleet operator (or the mesh layer) scrapes per station. All counters
+/// are maintained identically across the plain, resilient and adaptive
+/// send paths and reset by [`CosSession::reinit`], so a recycled
+/// session reports like a fresh one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Frames transmitted (every transceive, all send paths).
+    pub frames_tx: u64,
+    /// Frames whose data CRC passed at the receiver.
+    pub frames_rx_ok: u64,
+    /// Frames that embedded control silences (CoS attempts).
+    pub control_embedded: u64,
+    /// Frames whose control message was recovered exactly as sent.
+    pub control_ok: u64,
+    /// Packets whose EVM feedback report reached the sender (fresh on
+    /// the adaptive path; fresh, stale or corrupt on the resilient one —
+    /// mirroring each path's own `feedback_delivered` flag).
+    pub feedback_delivered: u64,
+    /// ARQ transmission attempts beyond each message's first, summed
+    /// over the resilient and adaptive queues (`attempts` minus offered
+    /// messages, saturating — messages still waiting for their first
+    /// attempt are not counted against it).
+    pub arq_retries: u64,
+    /// Adaptation state-machine transitions: every non-`Hold` staircase
+    /// or probe event counts one.
+    pub adaptation_events: u64,
+    /// The silence budget currently in force on the adaptive path
+    /// (the controller's target; 0 when the adaptive path never ran).
+    pub silence_budget: usize,
+}
+
 /// FNV-1a over a byte stream — the summary types' byte-identity proxy.
 fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -394,6 +427,8 @@ pub struct CosSession {
     /// Per-packet variable-length results (truth/refined positions,
     /// decoded control, feedback selection).
     xs: SessionScratch,
+    /// Monotonic observability counters (see [`SessionMetrics`]).
+    m: SessionMetrics,
 }
 
 impl CosSession {
@@ -431,6 +466,7 @@ impl CosSession {
             thresholds: Vec::new(),
             sel_scratch: Vec::new(),
             xs: SessionScratch::default(),
+            m: SessionMetrics::default(),
             config,
         }
     }
@@ -458,6 +494,7 @@ impl CosSession {
         self.adapter = ControlRateAdapter::new(ControlRateTable::default());
         self.seq = 0;
         self.adaptation = config.adaptation.is_some().then(|| AdaptationState::new(&config));
+        self.m = SessionMetrics::default();
         self.config = config;
     }
 
@@ -574,6 +611,31 @@ impl CosSession {
     /// (or the session was configured with `adaptation: Some(_)`).
     pub fn adaptation_controller(&self) -> Option<&LinkAdaptationController> {
         self.adaptation.as_ref().map(|s| &s.ctrl)
+    }
+
+    /// Mutable access to the link-adaptation controller, creating the
+    /// adaptation state on first use — the hook coordination layers
+    /// (e.g. `cos_core::mesh`) use to impose
+    /// [`rate caps`](LinkAdaptationController::set_rate_cap) and
+    /// [`budget grants`](LinkAdaptationController::set_budget_ceiling)
+    /// on a running station.
+    pub fn adaptation_controller_mut(&mut self) -> &mut LinkAdaptationController {
+        self.ensure_adaptation();
+        &mut self.adaptation.as_mut().expect("just ensured").ctrl
+    }
+
+    /// A snapshot of the session's observability counters. The two
+    /// derived fields are computed at snapshot time: `arq_retries` from
+    /// the resilient + adaptive [`ArqStats`], `silence_budget` from the
+    /// adaptation controller's current target.
+    pub fn metrics(&self) -> SessionMetrics {
+        let mut m = self.m;
+        let res = self.arq_stats();
+        let adp = self.adaptive_arq_stats();
+        m.arq_retries = res.attempts.saturating_sub(res.enqueued)
+            + adp.attempts.saturating_sub(adp.enqueued);
+        m.silence_budget = self.adaptation.as_ref().map_or(0, |s| s.ctrl.target_budget());
+        m
     }
 
     /// Retargets the link's average SNR mid-session — the mobility /
@@ -770,6 +832,10 @@ impl CosSession {
 
         // The world moves on between packets.
         self.link.channel_mut().advance(self.config.packet_interval);
+        self.m.frames_tx += 1;
+        self.m.control_embedded += embed_control as u64;
+        self.m.frames_rx_ok += result.data_ok as u64;
+        self.m.control_ok += result.control_ok as u64;
         result
     }
 
@@ -798,6 +864,7 @@ impl CosSession {
             if let Some(fb) = t.feedback {
                 std::mem::swap(&mut self.selected, &mut self.xs.fb_selection);
                 self.adapter.feedback(fb.measured_snr_db);
+                self.m.feedback_delivered += 1;
             } else {
                 self.adapter.transmission_failed();
             }
@@ -988,6 +1055,7 @@ impl CosSession {
         // The control confirmation rides the feedback report: no report
         // delivered, no ACK — the ARQ retries (a lost ACK costs a
         // duplicate, never a silent loss).
+        self.m.feedback_delivered += delivered as u64;
         let acked = attempted && t.control_ok && delivered;
         if from_queue {
             if acked {
@@ -1161,6 +1229,9 @@ impl CosSession {
         // so its outcome says nothing about the probed budget.
         let carried_full = t.silences_sent >= target;
         let events = state.ctrl.observe(delivered.then_some(t.measured), acked, carried_full);
+        self.m.feedback_delivered += delivered as u64;
+        self.m.adaptation_events += (events.staircase != StaircaseEvent::Hold) as u64
+            + (events.probe != ProbeEvent::Hold) as u64;
 
         let core = AdaptiveCore {
             t,
@@ -1464,6 +1535,50 @@ mod tests {
         }
         let low_rate = s.adaptation_controller().expect("ran").rate();
         assert!(low_rate < high_rate, "rate never tracked the SNR collapse");
+    }
+
+    #[test]
+    fn metrics_count_across_paths_and_reset_on_reinit() {
+        let cfg = SessionConfig { snr_db: 24.0, ..Default::default() };
+        let mut s = CosSession::new(cfg.clone(), 42);
+        assert_eq!(s.metrics(), SessionMetrics::default());
+
+        s.send_packet(&[0xAB; 600], &bits(8));
+        s.queue_control(bits(8));
+        s.send_packet_resilient(&[0xAB; 600]);
+        s.queue_adaptive_control(bits(8));
+        for _ in 0..6 {
+            s.send_packet_adaptive(&[0xAB; 600]);
+        }
+        let m = s.metrics();
+        assert_eq!(m.frames_tx, 8);
+        assert_eq!(m.control_embedded, 8, "all three paths embed on a clean link");
+        assert!(m.frames_rx_ok >= 7, "24 dB link: {m:?}");
+        assert!(m.control_ok >= 6, "{m:?}");
+        assert!(m.feedback_delivered >= 7, "{m:?}");
+        assert!(m.adaptation_events >= 2, "acquire + probe confirmations: {m:?}");
+        assert!(m.silence_budget >= 2, "{m:?}");
+
+        // A recycled session reports like a fresh one.
+        s.reinit(cfg, 43);
+        assert_eq!(s.metrics(), SessionMetrics::default());
+    }
+
+    #[test]
+    fn metrics_arq_retries_count_reattempts() {
+        // Reverse-path blackout for a stretch: the queued message must be
+        // retried, and every attempt beyond the first counts.
+        let mut s = CosSession::new(SessionConfig { snr_db: 24.0, ..Default::default() }, 33);
+        s.send_packet_resilient(&[0x55; 600]); // warm-up feedback
+        s.set_faults(
+            cos_channel::FaultEngine::new().with(FeedbackLoss::new(1.0, 7)).with_window(0, 4),
+        );
+        s.queue_control(bits(8));
+        for _ in 0..8 {
+            s.send_packet_resilient(&[0x55; 600]);
+        }
+        let m = s.metrics();
+        assert!(m.arq_retries >= 1, "blackout forced no retries: {m:?}");
     }
 
     #[test]

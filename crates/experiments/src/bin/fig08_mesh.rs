@@ -1,0 +1,16 @@
+//! Regenerates the mesh coordination tables:
+//! `results/fig08_mesh.csv` (aggregate goodput, collision rate and
+//! control-plane delivery vs N, coordinated vs uncoordinated on paired
+//! seeds) and `results/fig08_mesh_stations.csv` (per-station breakdown
+//! of the largest coordinated cell).
+//!
+//! Flags: `--threads N` (worker count; output is byte-identical at any
+//! value, see `docs/DETERMINISM.md` and `docs/MESH.md`).
+
+use cos_experiments::{mesh, table};
+
+fn main() {
+    cos_experiments::harness::init_threads_from_args();
+    let cfg = mesh::Config::default();
+    table::emit(&mesh::run(&cfg));
+}

@@ -19,6 +19,7 @@
 //! | [`ablation`] | §II-D/III-E claims | EVD vs error-only; weak vs random placement |
 //! | [`robustness`] | — (PR 2) | fault-injection soak of the resilient session |
 //! | [`adaptation`] | — (PR 6) | closed-loop rate staircase + budget probe under SNR drift |
+//! | [`mesh`] | — (PR 8) | N-station cell with hidden terminals: CoS-coordinated vs CSMA |
 
 pub mod ablation;
 pub mod adaptation;
@@ -30,5 +31,6 @@ pub mod fig07;
 pub mod fig09;
 pub mod fig10;
 pub mod harness;
+pub mod mesh;
 pub mod robustness;
 pub mod table;

@@ -40,6 +40,9 @@ cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke
 echo "== service_storm --smoke (async service chaos: zero lost jobs under stalls/poison/overflow, digests identical at 1/4/8 threads, journal replays byte-exactly)"
 cargo run -q --release -p cos-bench --bin service_storm -- --smoke
 
+echo "== mesh_storm --smoke (1024+ churning mesh stations: digests identical at 1/4/8 threads + coordination duel gate)"
+cargo run -q --release -p cos-bench --bin mesh_storm -- --smoke
+
 echo "== docs link check (relative links and backticked *.md references must resolve)"
 scripts/linkcheck.sh
 
@@ -47,5 +50,11 @@ echo "== CSV determinism (buffer reuse must not change a single byte of the comm
 cargo run -q --release -p cos-experiments --bin fig02_snr_gap > /dev/null
 cargo run -q --release -p cos-experiments --bin fig05_evm_positions > /dev/null
 git diff --exit-code -- results/
+
+echo "== fig08_mesh CSV byte-identity at COS_THREADS=1/4/8 (the mesh determinism contract, end to end)"
+for t in 1 4 8; do
+    COS_THREADS=$t cargo run -q --release -p cos-experiments --bin fig08_mesh > /dev/null
+    git diff --exit-code -- results/
+done
 
 echo "ALL CHECKS PASSED"
