@@ -16,6 +16,11 @@
 //! floor), the streaming workspace rx and the embedding workspace tx
 //! paths allocate nothing per frame, and the resilient summary path
 //! allocates strictly less than the report-building one.
+//!
+//! PR 9 adds a batched-decode phase: `RxPipeline::decode_batch_into`
+//! over a full lane group with a reused [`SymbolBatch`] must also be
+//! allocation-free at steady state (and decode the same frames as the
+//! per-frame `decode_into` loop it replaces).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -26,11 +31,13 @@ use cos_bench::bench_payload;
 use cos_channel::{ChannelConfig, Link};
 use cos_core::session::{CosSession, SessionConfig};
 use cos_core::PowerController;
+use cos_dsp::lanes::LANES;
 use cos_dsp::Complex;
+use cos_fec::SymbolBatch;
 use cos_phy::rates::DataRate;
 use cos_phy::rx::{Receiver, RxConfig};
 use cos_phy::tx::Transmitter;
-use cos_phy::{PhyWorkspace, RxPipeline, TxPipeline};
+use cos_phy::{PhyWorkspace, RxBatchFrame, RxPipeline, TxPipeline};
 
 /// Forwards to the system allocator while counting every allocation
 /// (alloc + realloc) and the bytes requested.
@@ -227,6 +234,58 @@ fn run_embed_workspace() -> Measurement {
     })
 }
 
+/// Shared setup for the batched-decode scenarios: `LANES` frames carried
+/// through distinct channel realisations and front-ended once into their
+/// own workspaces. The decode stage then re-runs repeatedly over the
+/// frozen front ends, which is exactly the shape of an engine drain.
+fn batch_workspaces() -> Vec<PhyWorkspace> {
+    let payload = bench_payload();
+    let mut link = Link::new(ChannelConfig::default(), SNR_DB, 42);
+    let tx = TxPipeline::new();
+    let rx = RxPipeline::new();
+    let mut wss: Vec<PhyWorkspace> = (0..LANES).map(|_| PhyWorkspace::new()).collect();
+    for ws in wss.iter_mut() {
+        tx.build_and_render(&payload, DataRate::Mbps24, 0x5D, &mut ws.tx);
+        link.transmit_into(&ws.tx.samples, &mut ws.rx.samples);
+        let cos_phy::RxWorkspace { samples, fe, .. } = &mut ws.rx;
+        rx.receiver().front_end_into(samples, fe).expect("clean front end");
+    }
+    wss
+}
+
+/// Per-frame reference: a plain `decode_into` loop over the lane group.
+fn run_batch_decode_per_frame() -> Measurement {
+    let rx = RxPipeline::new();
+    let mut wss = batch_workspaces();
+    measure(move || {
+        let mut ok = true;
+        for ws in wss.iter_mut() {
+            let cos_phy::RxWorkspace { fe, scratch, out, .. } = &mut ws.rx;
+            rx.receiver().decode_into(fe, None, scratch, out);
+            ok &= out.crc_ok;
+        }
+        ok
+    })
+}
+
+/// Batched path: one `decode_batch_into` call per step, lane frames built
+/// on the stack and the `SymbolBatch` staging buffer reused throughout.
+fn run_batch_decode_lockstep() -> Measurement {
+    let rx = RxPipeline::new();
+    let mut wss = batch_workspaces();
+    let mut batch = SymbolBatch::new();
+    measure(move || {
+        let mut it = wss.iter_mut().map(|ws| {
+            let cos_phy::RxWorkspace { fe, scratch, out, .. } = &mut ws.rx;
+            RxBatchFrame::new(&*fe, None, scratch, out)
+        });
+        let mut frames: [RxBatchFrame<'_>; LANES] =
+            std::array::from_fn(|_| it.next().expect("LANES workspaces"));
+        rx.decode_batch_into(&mut frames, &mut batch);
+        frames.iter().all(|f| f.out.crc_ok)
+    })
+}
+
 fn resilient_session() -> CosSession {
     CosSession::new(SessionConfig { snr_db: SNR_DB, ..Default::default() }, 42)
 }
@@ -293,6 +352,8 @@ fn main() {
     let resilient_summary = run_resilient_summary();
     let embed_owned = run_embed_owned();
     let embed_workspace = run_embed_workspace();
+    let batch_per_frame = run_batch_decode_per_frame();
+    let batch_lockstep = run_batch_decode_lockstep();
 
     assert_eq!(
         owned.crc_ok, workspace.crc_ok,
@@ -310,6 +371,10 @@ fn main() {
         embed_owned.crc_ok, embed_workspace.crc_ok,
         "owned and workspace tx+embed paths built different frame counts"
     );
+    assert_eq!(
+        batch_per_frame.crc_ok, batch_lockstep.crc_ok,
+        "per-frame and lockstep batched decodes disagree on CRC outcomes"
+    );
 
     // With a fully allocation-free workspace path the ratio is reported
     // against a 1-alloc floor, i.e. "at least N× fewer".
@@ -324,8 +389,9 @@ fn main() {
             m.allocs_per_frame, m.bytes_per_frame, m.frames_per_sec,
         )
     };
+    let batch_speedup = batch_lockstep.frames_per_sec / batch_per_frame.frames_per_sec;
     let json = format!(
-        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {},\n  \"workspace\": {},\n  \"stream_owned\": {},\n  \"stream_workspace\": {},\n  \"resilient_report\": {},\n  \"resilient_summary\": {},\n  \"embed_owned\": {},\n  \"embed_workspace\": {},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"stream_alloc_reduction\": {:.1},\n  \"embed_alloc_reduction\": {:.1},\n  \"crc_ok_frames\": {}\n}}\n",
+        "{{\n  \"bench\": \"alloc_gate\",\n  \"frames\": {MEASURED_FRAMES},\n  \"payload_bytes\": 1020,\n  \"rate\": \"Mbps24\",\n  \"snr_db\": {SNR_DB},\n  \"owned\": {},\n  \"workspace\": {},\n  \"stream_owned\": {},\n  \"stream_workspace\": {},\n  \"resilient_report\": {},\n  \"resilient_summary\": {},\n  \"embed_owned\": {},\n  \"embed_workspace\": {},\n  \"batch_decode_per_frame\": {},\n  \"batch_decode_lockstep\": {},\n  \"alloc_reduction\": {:.1},\n  \"rx_chain_speedup\": {:.3},\n  \"stream_alloc_reduction\": {:.1},\n  \"embed_alloc_reduction\": {:.1},\n  \"batch_decode_speedup\": {:.3},\n  \"crc_ok_frames\": {}\n}}\n",
         section(&owned),
         section(&workspace),
         section(&stream_owned),
@@ -334,10 +400,13 @@ fn main() {
         section(&resilient_summary),
         section(&embed_owned),
         section(&embed_workspace),
+        section(&batch_per_frame),
+        section(&batch_lockstep),
         alloc_ratio,
         speedup,
         stream_ratio,
         embed_ratio,
+        batch_speedup,
         owned.crc_ok,
     );
     std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
@@ -362,6 +431,12 @@ fn main() {
                 embed_workspace.allocs_per_frame
             ));
         }
+        if batch_lockstep.allocs_per_frame > 0.0 {
+            failures.push(format!(
+                "batched lockstep decode allocates {:.2}/batch (want 0)",
+                batch_lockstep.allocs_per_frame
+            ));
+        }
         if resilient_summary.allocs_per_frame >= resilient_report.allocs_per_frame {
             failures.push(format!(
                 "resilient summary path allocates {:.2}/frame, not below the report path's {:.2}",
@@ -375,6 +450,7 @@ fn main() {
         eprintln!(
             "alloc gate passed: {alloc_ratio:.1}x fewer allocs, {speedup:.3}x rx speedup, \
              streaming rx 0 allocs/frame, tx+embed 0 allocs/frame ({embed_ratio:.1}x fewer), \
+             batched decode 0 allocs/batch ({batch_speedup:.3}x vs per-frame), \
              resilient summary {:.2} vs report {:.2} allocs/frame",
             resilient_summary.allocs_per_frame, resilient_report.allocs_per_frame
         );

@@ -15,7 +15,12 @@
 //!    must allocate **zero** times per frame.
 //! 3. **Throughput** — frames/sec of the phase-1 storms per thread count.
 //!
-//! Writes `BENCH_pr5.json` to the current directory and exits non-zero
+//! PR 9: the phases run once per symbol-plane kernel (`--kernels
+//! scalar|lanes|both`, default `both`), and because the lane kernels are
+//! bit-identical to the scalar reference the outcome digests must agree
+//! across kernels as well as thread counts.
+//!
+//! Writes `BENCH_pr9.json` to the current directory and exits non-zero
 //! on any determinism or (full run) allocation failure. `--smoke` runs a
 //! reduced schedule in well under 30 s and gates only determinism;
 //! `--sessions N` / `--rounds N` override the scale.
@@ -29,6 +34,7 @@ use cos_core::engine::{
 };
 use cos_core::session::{PacketSummary, SessionConfig};
 use cos_core::LinkMode;
+use cos_dsp::{set_kernel_mode, KernelMode};
 use cos_phy::rates::DataRate;
 
 struct CountingAlloc;
@@ -293,75 +299,136 @@ fn run_alloc_phase(sessions: usize, max_warm: usize, measured: usize) -> AllocRe
     }
 }
 
-fn arg_value(name: &str) -> Option<usize> {
+fn arg_text(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     for (i, arg) in args.iter().enumerate() {
         if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
-            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+            return Some(v.to_string());
         }
         if arg == &format!("--{name}") {
-            let v = args.get(i + 1).unwrap_or_else(|| panic!("--{name} requires a value"));
-            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("--{name} requires a value")).clone(),
+            );
         }
     }
     None
 }
 
+fn arg_value(name: &str) -> Option<usize> {
+    arg_text(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")))
+}
+
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// One kernel mode's full run: storms per thread count plus the
+/// single-threaded steady-state allocation profile.
+struct ModeReport {
+    name: &'static str,
+    storms: Vec<StormResult>,
+    alloc: AllocResult,
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sessions = arg_value("sessions").unwrap_or(if smoke { 1024 } else { 1536 });
     let rounds = arg_value("rounds").unwrap_or(if smoke { 2 } else { 4 });
     let (max_warm, measured) = if smoke { (4, 1) } else { (64, 3) };
+    let kernels = arg_text("kernels").unwrap_or_else(|| "both".to_string());
+    let modes: Vec<(&'static str, KernelMode)> = match kernels.as_str() {
+        "scalar" => vec![("scalar", KernelMode::Scalar)],
+        "lanes" => vec![("lanes", KernelMode::Lanes)],
+        "both" => vec![("scalar", KernelMode::Scalar), ("lanes", KernelMode::Lanes)],
+        other => panic!("--kernels takes scalar|lanes|both, got {other}"),
+    };
 
-    eprintln!("session_storm: {sessions} sessions, {rounds} rounds, threads {THREAD_COUNTS:?}");
-
-    let storms: Vec<StormResult> =
-        THREAD_COUNTS.iter().map(|&t| run_storm(sessions, rounds, t)).collect();
-    let deterministic = storms.iter().all(|s| s.digest == storms[0].digest);
-    for (t, s) in THREAD_COUNTS.iter().zip(&storms) {
-        eprintln!(
-            "  threads={t}: digest {:016x}, {} jobs, {:.0} frames/sec",
-            s.digest, s.jobs, s.frames_per_sec
-        );
-    }
-
-    let alloc = run_alloc_phase(sessions.max(1000), max_warm, measured);
     eprintln!(
-        "  steady state: {:.3} allocs/frame, {:.1} bytes/frame, {:.0} frames/sec ({} warm rounds)",
-        alloc.allocs_per_frame, alloc.bytes_per_frame, alloc.frames_per_sec, alloc.warm_rounds
+        "session_storm: {sessions} sessions, {rounds} rounds, threads {THREAD_COUNTS:?}, \
+         kernels {kernels}"
     );
 
-    if !smoke {
-        let json = format!(
-            "{{\n  \"bench\": \"session_storm\",\n  \"sessions\": {sessions},\n  \"rounds\": {rounds},\n  \"jobs_per_storm\": {},\n  \"thread_counts\": [1, 4, 8],\n  \"outcome_digest\": \"{:016x}\",\n  \"deterministic_across_threads\": {deterministic},\n  \"frames_per_sec\": {{\n    \"threads_1\": {:.2},\n    \"threads_4\": {:.2},\n    \"threads_8\": {:.2}\n  }},\n  \"steady_state\": {{\n    \"sessions\": {},\n    \"warm_rounds\": {},\n    \"allocs_per_frame\": {:.4},\n    \"bytes_per_frame\": {:.1},\n    \"frames_per_sec\": {:.2}\n  }}\n}}\n",
-            storms[0].jobs,
-            storms[0].digest,
-            storms[0].frames_per_sec,
-            storms[1].frames_per_sec,
-            storms[2].frames_per_sec,
-            sessions.max(1000),
-            alloc.warm_rounds,
-            alloc.allocs_per_frame,
-            alloc.bytes_per_frame,
-            alloc.frames_per_sec,
+    let mut reports: Vec<ModeReport> = Vec::new();
+    for &(name, mode) in &modes {
+        // Pinned before any worker thread spawns, so every storm below
+        // observes one mode for its whole run.
+        set_kernel_mode(mode);
+        eprintln!("  [{name}]");
+        let storms: Vec<StormResult> =
+            THREAD_COUNTS.iter().map(|&t| run_storm(sessions, rounds, t)).collect();
+        for (t, s) in THREAD_COUNTS.iter().zip(&storms) {
+            eprintln!(
+                "    threads={t}: digest {:016x}, {} jobs, {:.0} frames/sec",
+                s.digest, s.jobs, s.frames_per_sec
+            );
+        }
+        let alloc = run_alloc_phase(sessions.max(1000), max_warm, measured);
+        eprintln!(
+            "    steady state: {:.3} allocs/frame, {:.1} bytes/frame, {:.0} frames/sec \
+             ({} warm rounds)",
+            alloc.allocs_per_frame, alloc.bytes_per_frame, alloc.frames_per_sec, alloc.warm_rounds
         );
-        std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+        reports.push(ModeReport { name, storms, alloc });
+    }
+
+    // Bit-identity contract: the digest must agree across *kernels* as
+    // well as thread counts.
+    let reference = reports[0].storms[0].digest;
+    let deterministic = reports.iter().all(|r| r.storms.iter().all(|s| s.digest == reference));
+
+    if !smoke {
+        let mode_section = |r: &ModeReport| {
+            format!(
+                "{{\n    \"frames_per_sec\": {{\n      \"threads_1\": {:.2},\n      \"threads_4\": {:.2},\n      \"threads_8\": {:.2}\n    }},\n    \"steady_state\": {{\n      \"warm_rounds\": {},\n      \"allocs_per_frame\": {:.4},\n      \"bytes_per_frame\": {:.1},\n      \"frames_per_sec\": {:.2}\n    }}\n  }}",
+                r.storms[0].frames_per_sec,
+                r.storms[1].frames_per_sec,
+                r.storms[2].frames_per_sec,
+                r.alloc.warm_rounds,
+                r.alloc.allocs_per_frame,
+                r.alloc.bytes_per_frame,
+                r.alloc.frames_per_sec,
+            )
+        };
+        let sections: String = reports
+            .iter()
+            .map(|r| format!("  \"{}\": {},\n", r.name, mode_section(r)))
+            .collect();
+        let speedup = if reports.len() == 2 {
+            let s = &reports[0];
+            let l = &reports[1];
+            format!(
+                "  \"lanes_vs_scalar\": {{\n    \"threads_1\": {:.3},\n    \"threads_4\": {:.3},\n    \"threads_8\": {:.3},\n    \"steady_state\": {:.3}\n  }},\n",
+                l.storms[0].frames_per_sec / s.storms[0].frames_per_sec,
+                l.storms[1].frames_per_sec / s.storms[1].frames_per_sec,
+                l.storms[2].frames_per_sec / s.storms[2].frames_per_sec,
+                l.alloc.frames_per_sec / s.alloc.frames_per_sec,
+            )
+        } else {
+            String::new()
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"session_storm\",\n  \"sessions\": {sessions},\n  \"rounds\": {rounds},\n  \"jobs_per_storm\": {},\n  \"thread_counts\": [1, 4, 8],\n  \"steady_state_sessions\": {},\n  \"outcome_digest\": \"{:016x}\",\n  \"deterministic_across_threads_and_kernels\": {deterministic},\n{sections}{speedup}  \"crc_note\": \"digests cover every outcome field; equal digests mean byte-identical results\"\n}}\n",
+            reports[0].storms[0].jobs,
+            sessions.max(1000),
+            reference,
+        );
+        std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
         print!("{json}");
     }
 
     let mut failed = false;
     if !deterministic {
-        eprintln!("session_storm FAILED: outcome digests differ across thread counts");
+        eprintln!("session_storm FAILED: outcome digests differ across thread counts or kernels");
         failed = true;
     }
-    if !smoke && alloc.allocs_per_frame > 0.0 {
-        eprintln!(
-            "session_storm FAILED: {:.4} allocs/frame at steady state (want 0)",
-            alloc.allocs_per_frame
-        );
-        failed = true;
+    if !smoke {
+        for r in &reports {
+            if r.alloc.allocs_per_frame > 0.0 {
+                eprintln!(
+                    "session_storm FAILED: [{}] {:.4} allocs/frame at steady state (want 0)",
+                    r.name, r.alloc.allocs_per_frame
+                );
+                failed = true;
+            }
+        }
     }
     if failed {
         std::process::exit(1);

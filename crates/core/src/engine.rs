@@ -34,7 +34,11 @@
 //! check.sh` gates this); multi-threaded drains add a small per-drain —
 //! not per-frame — orchestration cost (thread spawns and one unit list).
 
-use crate::session::{AdaptiveSummary, CosSession, PacketSummary, ResilientSummary, SessionConfig};
+use crate::session::{
+    AdaptiveSummary, CosSession, PacketSummary, PlainPrep, ResilientSummary, SessionConfig,
+};
+use cos_dsp::lanes::LANES;
+use cos_fec::{SymbolBatch, ViterbiDecoder};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -351,6 +355,9 @@ pub struct BatchEngine {
     order: Vec<u32>,
     /// Contiguous per-slot ranges of `order` — rebuilt per drain.
     groups: Vec<Group>,
+    /// SoA staging for the single-threaded lockstep Viterbi — engine-owned
+    /// so the zero-allocation drain path keeps its guarantee.
+    batch: SymbolBatch,
 }
 
 impl BatchEngine {
@@ -459,28 +466,68 @@ impl BatchEngine {
             i = j;
         }
 
-        let BatchEngine { payloads, controls, jobs, order, groups, cfg } = self;
+        let BatchEngine { payloads, controls, jobs, order, groups, cfg, batch } = self;
         let workers = configured_threads(cfg.threads).min(groups.len());
 
         if workers <= 1 {
-            for &g in groups.iter() {
-                match pool.slots.get_mut(g.slot as usize) {
-                    Some(slot) => {
-                        let generation = slot.generation;
-                        run_group(
-                            payloads,
-                            controls,
-                            jobs,
-                            order,
-                            g,
-                            generation,
-                            slot.session.as_mut(),
-                            |i, o| out[i] = o,
-                        );
+            // Bundle groups whose current frames will stage equal-length
+            // trellises: the staged LLR count is a function of payload
+            // length alone (depuncturing restores the mother code, so the
+            // rate never shows), so sorting by the head job's payload
+            // length hands `decode_lockstep` bundles of equal-length
+            // frames — one full lane group each — instead of whatever
+            // LANES slots happened to be adjacent. Groups headed by a
+            // non-plain job cluster at the end; their rounds run inline
+            // either way. Outcomes are position-addressed, so processing
+            // order never shows in `out`.
+            groups.sort_unstable_by_key(|&g| bundle_key(payloads, jobs, order, g));
+            let mut gi = 0usize;
+            while gi < groups.len() {
+                // Gather up to LANES live-slot groups for one lockstep
+                // bundle; dead or out-of-range slots resolve inline.
+                let mut bundle = [Group { slot: 0, start: 0, end: 0 }; LANES];
+                let mut idxs = [0usize; LANES];
+                let mut n = 0usize;
+                while gi < groups.len() && n < LANES {
+                    let g = groups[gi];
+                    gi += 1;
+                    if pool.slots.get(g.slot as usize).is_some_and(|s| s.session.is_some()) {
+                        bundle[n] = g;
+                        idxs[n] = g.slot as usize;
+                        n += 1;
+                    } else {
+                        run_group(payloads, controls, jobs, order, g, 0, None, |i, o| {
+                            out[i] = o
+                        });
                     }
-                    None => run_group(payloads, controls, jobs, order, g, 0, None, |i, o| {
+                }
+                if n == LANES {
+                    // Groups are unique per slot, so the indices are
+                    // distinct and the disjoint borrow always succeeds.
+                    let slots = pool
+                        .slots
+                        .get_disjoint_mut(idxs)
+                        .expect("bundle slots are distinct and in range");
+                    let mut units: [Option<(Group, u32, &mut CosSession)>; LANES] =
+                        std::array::from_fn(|_| None);
+                    for ((u, slot), g) in units.iter_mut().zip(slots).zip(bundle) {
+                        let sess = slot.session.as_mut().expect("liveness checked above");
+                        *u = Some((g, slot.generation, sess));
+                    }
+                    run_units_lockstep(payloads, controls, jobs, order, &mut units, batch, |i, o| {
                         out[i] = o
-                    }),
+                    });
+                } else {
+                    // Tail bundle: fewer live groups than a lane group
+                    // holds, so lockstep could not fire — run each alone.
+                    for (&g, &si) in bundle[..n].iter().zip(&idxs[..n]) {
+                        let slot = &mut pool.slots[si];
+                        let sess = slot.session.as_mut().expect("liveness checked above");
+                        let mut unit = [Some((g, slot.generation, sess))];
+                        run_units_lockstep(payloads, controls, jobs, order, &mut unit, batch, |i, o| {
+                            out[i] = o
+                        });
+                    }
                 }
             }
         } else {
@@ -491,13 +538,13 @@ impl BatchEngine {
             // One group, the owning slot's generation, and the slot's
             // session — claimed exactly once by whichever worker takes it.
             type Unit<'s> = Mutex<Option<(Group, u32, &'s mut CosSession)>>;
-            let mut units: Vec<Unit<'_>> = Vec::with_capacity(groups.len());
+            let mut raw: Vec<(Group, u32, &mut CosSession)> = Vec::with_capacity(groups.len());
             let mut gi = 0usize;
             for (slot_idx, slot) in pool.slots.iter_mut().enumerate() {
                 if gi < groups.len() && groups[gi].slot as usize == slot_idx {
                     let g = groups[gi];
                     match slot.session.as_mut() {
-                        Some(sess) => units.push(Mutex::new(Some((g, slot.generation, sess)))),
+                        Some(sess) => raw.push((g, slot.generation, sess)),
                         None => run_group(payloads, controls, jobs, order, g, 0, None, |i, o| {
                             out[i] = o
                         }),
@@ -509,6 +556,11 @@ impl BatchEngine {
                 // Slots beyond the slab (handles from another pool).
                 run_group(payloads, controls, jobs, order, g, 0, None, |i, o| out[i] = o);
             }
+            // Same equal-trellis-length clustering as the single-threaded
+            // walk: workers claim contiguous runs, so sorting here is what
+            // makes a claimed bundle's frames lockstep-compatible.
+            raw.sort_unstable_by_key(|&(g, _, _)| bundle_key(payloads, jobs, order, g));
+            let units: Vec<Unit<'_>> = raw.into_iter().map(|u| Mutex::new(Some(u))).collect();
 
             let next = AtomicUsize::new(0);
             let results: Vec<Vec<(usize, JobOutcome)>> = std::thread::scope(|scope| {
@@ -517,24 +569,35 @@ impl BatchEngine {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut local = Vec::new();
+                            let mut batch = SymbolBatch::new();
                             loop {
-                                let u = next.fetch_add(1, Ordering::Relaxed);
-                                if u >= units.len() {
+                                // Claim a lockstep bundle of up to LANES
+                                // units so this worker can decode its
+                                // sessions' trellises LANES per instruction.
+                                let base = next.fetch_add(LANES, Ordering::Relaxed);
+                                if base >= units.len() {
                                     break;
                                 }
-                                let (g, generation, sess) = units[u]
-                                    .lock()
-                                    .expect("engine unit lock")
-                                    .take()
-                                    .expect("each unit is claimed exactly once");
-                                run_group(
+                                let hi = (base + LANES).min(units.len());
+                                let mut claimed: [Option<(Group, u32, &mut CosSession)>; LANES] =
+                                    std::array::from_fn(|_| None);
+                                let mut filled = 0usize;
+                                for unit in &units[base..hi] {
+                                    claimed[filled] = Some(
+                                        unit.lock()
+                                            .expect("engine unit lock")
+                                            .take()
+                                            .expect("each unit is claimed exactly once"),
+                                    );
+                                    filled += 1;
+                                }
+                                run_units_lockstep(
                                     payloads,
                                     controls,
                                     jobs,
                                     order,
-                                    g,
-                                    generation,
-                                    Some(sess),
+                                    &mut claimed[..filled],
+                                    &mut batch,
                                     |i, o| local.push((i, o)),
                                 );
                             }
@@ -550,6 +613,131 @@ impl BatchEngine {
         }
 
         self.jobs.clear();
+    }
+}
+
+/// Runs up to [`LANES`] per-slot job groups in lockstep: each round takes
+/// the next job of every group, prepares the plain frames, decodes their
+/// Viterbi trellises [`LANES`] frames per instruction
+/// ([`ViterbiDecoder::decode_lockstep`]), then finishes them.
+///
+/// Per-session order stays submit order (a round advances each group by
+/// exactly one job) and each stage is bit-identical to its monolithic
+/// counterpart, so outcomes are byte-identical to running the groups one
+/// at a time. Resilient/adaptive jobs and stale handles run their
+/// monolithic paths inline in their round — their frames have cross-frame
+/// sequential dependencies (ARQ, adaptation state) that a split would
+/// not change anyway, since both state machines live per-session.
+///
+/// Rounds with fewer than [`LANES`] cleanly staged plain frames (mixed
+/// job kinds, uneven group lengths, staging errors) fall back to the
+/// per-frame lane kernel — still SIMD across trellis states, just not
+/// across sessions.
+/// Bundle-formation key: groups whose head job is plain sort by its
+/// payload length — the staged trellis length is `2 × (SERVICE + 8 ×
+/// psdu + TAIL)` mother-code bits, a function of payload length alone —
+/// so equal keys mean lockstep-compatible frames. Groups headed by a
+/// non-plain job sort last, keeping their inline rounds out of plain
+/// bundles. The slot tie-break only pins a reproducible walk order;
+/// outcomes are position-addressed either way.
+fn bundle_key(payloads: &[Box<[u8]>], jobs: &[Job], order: &[u32], g: Group) -> (usize, u32) {
+    let head = jobs[order[g.start as usize] as usize];
+    match head.kind {
+        JobKind::Plain(_) => (payloads[head.payload.0 as usize].len(), g.slot),
+        JobKind::Resilient | JobKind::Adaptive => (usize::MAX, g.slot),
+    }
+}
+
+fn run_units_lockstep(
+    payloads: &[Box<[u8]>],
+    controls: &[Box<[u8]>],
+    jobs: &[Job],
+    order: &[u32],
+    units: &mut [Option<(Group, u32, &mut CosSession)>],
+    batch: &mut SymbolBatch,
+    mut emit: impl FnMut(usize, JobOutcome),
+) {
+    debug_assert!(units.len() <= LANES);
+    let mut cursors = [0usize; LANES];
+    for (k, u) in units.iter().enumerate() {
+        if let Some((g, _, _)) = u {
+            cursors[k] = g.start as usize;
+        }
+    }
+    loop {
+        // Stage 1: prepare this round's job of every group. Non-plain
+        // jobs run to completion here.
+        let mut preps: [Option<(PlainPrep, ControlId)>; LANES] = [None; LANES];
+        let mut progressed = false;
+        for (k, u) in units.iter_mut().enumerate() {
+            let Some((g, generation, sess)) = u else { continue };
+            if cursors[k] >= g.end as usize {
+                continue;
+            }
+            progressed = true;
+            let idx = order[cursors[k]] as usize;
+            let job = jobs[idx];
+            if job.session.generation != *generation {
+                emit(idx, JobOutcome { session: job.session, result: JobResult::StaleSession });
+                cursors[k] += 1;
+                continue;
+            }
+            let payload = &payloads[job.payload.0 as usize];
+            match job.kind {
+                JobKind::Plain(c) => {
+                    preps[k] = Some((sess.plain_prepare(payload, &controls[c.0 as usize]), c));
+                }
+                JobKind::Resilient => {
+                    let result = JobResult::Resilient(sess.send_packet_resilient_summary(payload));
+                    emit(idx, JobOutcome { session: job.session, result });
+                    cursors[k] += 1;
+                }
+                JobKind::Adaptive => {
+                    let result = JobResult::Adaptive(sess.send_packet_adaptive_summary(payload));
+                    emit(idx, JobOutcome { session: job.session, result });
+                    cursors[k] += 1;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+
+        // Stage 2: Viterbi — lockstep when a full lane group staged.
+        let staged = units
+            .iter()
+            .zip(preps.iter())
+            .filter(|(u, p)| {
+                u.is_some() && p.as_ref().is_some_and(|(pr, _)| pr.staged_ok().is_some())
+            })
+            .count();
+        if staged == LANES {
+            let mut it = units.iter_mut().zip(preps.iter()).filter_map(|(u, p)| {
+                let (_, _, sess) = u.as_mut()?;
+                let sp = p.as_ref()?.0.staged_ok()?;
+                Some(sess.staged_viterbi_frame(sp))
+            });
+            let mut lanes: [_; LANES] =
+                std::array::from_fn(|_| it.next().expect("LANES staged frames"));
+            ViterbiDecoder::new().decode_lockstep(&mut lanes, true, batch);
+        } else {
+            for (u, p) in units.iter_mut().zip(preps.iter()) {
+                if let (Some((_, _, sess)), Some((prep, _))) = (u.as_mut(), p) {
+                    sess.plain_run_viterbi(prep);
+                }
+            }
+        }
+
+        // Stage 3: finish every staged plain frame.
+        for (k, u) in units.iter_mut().enumerate() {
+            let Some((_, _, sess)) = u.as_mut() else { continue };
+            let Some((prep, c)) = preps[k].take() else { continue };
+            let idx = order[cursors[k]] as usize;
+            let job = jobs[idx];
+            let summary = sess.plain_finish(&controls[c.0 as usize], prep);
+            emit(idx, JobOutcome { session: job.session, result: JobResult::Plain(summary) });
+            cursors[k] += 1;
+        }
     }
 }
 

@@ -33,14 +33,48 @@ use crate::resilience::{
 use crate::subcarrier_select::{select_control_subcarriers_into, SelectionPolicy};
 use crate::validation::{sanitize_selection, validate_silences_into};
 use cos_channel::{ChannelConfig, FaultEngine, FeedbackFate, Link};
+use cos_fec::LaneFrame;
 use cos_phy::error::PhyError;
 use cos_phy::evm::{per_subcarrier_evm, reconstruct_points_into};
+use cos_phy::frame::{run_staged_viterbi, staged_lane_frame, PreparedDataField};
 use cos_phy::rates::DataRate;
 use cos_phy::rx::Receiver;
 use cos_phy::subcarriers::NUM_DATA;
 use cos_phy::tx::Transmitter;
 use cos_phy::{PhyWorkspace, TxWorkspace};
 use std::collections::VecDeque;
+
+/// What [`CosSession::transceive_prepare`] staged: either the front end
+/// failed outright, or the DATA field staged with the inner result.
+#[derive(Debug, Clone, Copy)]
+enum PlainStage {
+    /// The front end failed; there is nothing to decode.
+    FrontEndFailed(PhyError),
+    /// The front end ran; the DATA field staged with this result.
+    Staged(Result<PreparedDataField, PhyError>),
+}
+
+/// `Copy` token carrying everything `transceive_finish` needs from
+/// `transceive_prepare` — the seam the engine's lockstep Viterbi slots
+/// into: prepare several sessions' frames, run their trellises `LANES`
+/// per instruction, then finish each.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlainPrep {
+    silences_sent: usize,
+    rate: DataRate,
+    embed_control: bool,
+    stage: PlainStage,
+}
+
+impl PlainPrep {
+    /// The staged Viterbi run, when the frame staged cleanly.
+    pub(crate) fn staged_ok(&self) -> Option<PreparedDataField> {
+        match self.stage {
+            PlainStage::Staged(Ok(p)) => Some(p),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a CoS session.
 #[derive(Debug, Clone)]
@@ -670,7 +704,26 @@ impl CosSession {
     /// The transmit/receive core shared by both send paths: build, embed
     /// (optionally), propagate, detect, decode, validate, and compute the
     /// feedback report. Does **not** apply feedback to the sender state.
+    ///
+    /// Implemented as prepare → Viterbi → finish so the batch engine can
+    /// interleave the Viterbi stage across sessions; this monolithic form
+    /// and the staged form are bit-identical by construction (one
+    /// implementation of each half).
     fn transceive(&mut self, payload: &[u8], control_bits: &[u8], embed_control: bool) -> Transceived {
+        let prep = self.transceive_prepare(payload, control_bits, embed_control);
+        self.transceive_viterbi(&prep);
+        self.transceive_finish(control_bits, prep)
+    }
+
+    /// The front half of [`transceive`](Self::transceive): build, embed,
+    /// propagate, front end, detect, and stage the DATA-field decode up
+    /// to (but not including) the Viterbi run.
+    fn transceive_prepare(
+        &mut self,
+        payload: &[u8],
+        control_bits: &[u8],
+        embed_control: bool,
+    ) -> PlainPrep {
         self.seq += 1;
         let scrambler_seed = (self.seq % 127 + 1) as u8;
         let rate = self.rate;
@@ -722,21 +775,62 @@ impl CosSession {
             link.transmit_into(&tx.samples, &mut rx.samples);
         }
 
-        // Receive: front end, energy detection, erasure decode — all into
-        // session-owned scratch.
-        let result = match self.phy_rx.front_end_into(&self.ws.rx.samples, &mut self.ws.rx.fe) {
+        // Receive: front end, energy detection, and the demap/FEC staging
+        // of the erasure decode — all into session-owned scratch. The
+        // Viterbi itself belongs to the next stage.
+        let stage = match self.phy_rx.front_end_into(&self.ws.rx.samples, &mut self.ws.rx.fe) {
             Ok(()) => {
                 // Split-borrow the session so the detector, PHY workspace
                 // and per-packet scratch can be used side by side without
                 // intermediate allocations.
-                let CosSession {
-                    detector, phy_rx, controller, config, ws, ref_tx, det, thresholds,
-                    sel_scratch, xs, ..
-                } = &mut *self;
-                let codec = *controller.codec();
+                let CosSession { detector, phy_rx, ws, det, thresholds, sel_scratch, .. } =
+                    &mut *self;
                 if embed_control {
                     detector.detect_into(&ws.rx.fe, sel_scratch, thresholds, det);
                 }
+                let erasures = embed_control.then_some(det.erasures.as_slice());
+                PlainStage::Staged(phy_rx.decode_prepare_into(
+                    &ws.rx.fe,
+                    erasures,
+                    &mut ws.rx.scratch,
+                    &mut ws.rx.out,
+                ))
+            }
+            Err(e) => PlainStage::FrontEndFailed(e),
+        };
+        PlainPrep { silences_sent, rate, embed_control, stage }
+    }
+
+    /// The Viterbi stage of [`transceive`](Self::transceive), per-frame
+    /// form: decodes the staged trellis (if any) into this session's
+    /// scratch.
+    fn transceive_viterbi(&mut self, prep: &PlainPrep) {
+        if let Some(p) = prep.staged_ok() {
+            run_staged_viterbi(p, &mut self.ws.rx.scratch.fec);
+        }
+    }
+
+    /// The Viterbi stage in lockstep form: borrows this session's staged
+    /// trellis as one lane frame for
+    /// [`cos_fec::ViterbiDecoder::decode_lockstep`]. Running the lane
+    /// frame leaves exactly the state
+    /// [`transceive_viterbi`](Self::transceive_viterbi) would.
+    pub(crate) fn staged_viterbi_frame(&mut self, prep: PreparedDataField) -> LaneFrame<'_> {
+        staged_lane_frame(prep, &mut self.ws.rx.scratch.fec)
+    }
+
+    /// The back half of [`transceive`](Self::transceive): descramble/CRC
+    /// finish, control-bit extraction, silence validation, EVM feedback,
+    /// channel advance and metrics. Requires the Viterbi stage to have
+    /// run when `prep` staged cleanly.
+    fn transceive_finish(&mut self, control_bits: &[u8], prep: PlainPrep) -> Transceived {
+        let PlainPrep { silences_sent, rate, embed_control, stage } = prep;
+        let result = match stage {
+            PlainStage::Staged(staged) => {
+                let CosSession {
+                    phy_rx, controller, config, ws, ref_tx, det, sel_scratch, xs, ..
+                } = &mut *self;
+                let codec = *controller.codec();
                 let total = ws.rx.fe.raw_symbols.len() * sel_scratch.len();
                 // Decoded control bits are bounded by one interval per
                 // control slot; reserving that bound here keeps the two
@@ -749,7 +843,7 @@ impl CosSession {
                     DetectionAccuracy::default()
                 };
                 let erasures = embed_control.then_some(det.erasures.as_slice());
-                phy_rx.decode_into(&ws.rx.fe, erasures, &mut ws.rx.scratch, &mut ws.rx.out);
+                phy_rx.decode_finish_into(&ws.rx.fe, staged, &mut ws.rx.scratch, &mut ws.rx.out);
                 let mut control_present =
                     embed_control && det.control_bits_into(&codec, &mut xs.control);
                 let measured = ws.rx.fe.measured_snr_db();
@@ -816,7 +910,7 @@ impl CosSession {
                     feedback,
                 }
             }
-            Err(e) => Transceived {
+            PlainStage::FrontEndFailed(e) => Transceived {
                 data_ok: false,
                 front_end_ok: false,
                 control_present: false,
@@ -930,6 +1024,31 @@ impl CosSession {
     /// `k` or the message exceeds the frame capacity.
     pub fn send_packet_summary(&mut self, payload: &[u8], control_bits: &[u8]) -> PacketSummary {
         let t = self.transceive(payload, control_bits, true);
+        self.finish_plain(&t);
+        self.summarize(&t)
+    }
+
+    /// The prepare stage of [`send_packet_summary`](Self::send_packet_summary)
+    /// — the engine's lockstep entry point. Must be paired with a Viterbi
+    /// stage ([`plain_run_viterbi`](Self::plain_run_viterbi) or a lockstep
+    /// run over [`staged_viterbi_frame`](Self::staged_viterbi_frame)) and
+    /// then [`plain_finish`](Self::plain_finish).
+    pub(crate) fn plain_prepare(&mut self, payload: &[u8], control_bits: &[u8]) -> PlainPrep {
+        self.transceive_prepare(payload, control_bits, true)
+    }
+
+    /// Per-frame Viterbi stage matching
+    /// [`plain_prepare`](Self::plain_prepare) — the remainder path when a
+    /// full lane group isn't available.
+    pub(crate) fn plain_run_viterbi(&mut self, prep: &PlainPrep) {
+        self.transceive_viterbi(prep);
+    }
+
+    /// The finish stage of [`send_packet_summary`](Self::send_packet_summary):
+    /// identical sender-state evolution and summary as the monolithic
+    /// call.
+    pub(crate) fn plain_finish(&mut self, control_bits: &[u8], prep: PlainPrep) -> PacketSummary {
+        let t = self.transceive_finish(control_bits, prep);
         self.finish_plain(&t);
         self.summarize(&t)
     }

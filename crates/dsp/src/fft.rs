@@ -17,7 +17,39 @@
 //! the `1/N` factor.
 
 use crate::complex::Complex;
+use crate::lanes::{kernel_mode, C64xL, F64xL, KernelMode, LANES};
 use std::sync::OnceLock;
+
+/// Per-stage twiddle factors stored SoA (split real/imaginary arrays) so
+/// the lane butterfly loads them with plain contiguous reads.
+///
+/// The values are **copied** from the scalar twiddle table, never
+/// recomputed from angles, so the lane and scalar paths consume the same
+/// bits.
+#[derive(Debug, Clone)]
+struct LaneStage {
+    /// Butterflies per chunk at this stage (`len / 2`).
+    half: usize,
+    /// Real parts of the `half` twiddles.
+    w_re: Vec<f64>,
+    /// Imaginary parts of the `half` twiddles.
+    w_im: Vec<f64>,
+}
+
+impl LaneStage {
+    /// Builds the stage table for chunk length `len` by striding the
+    /// scalar twiddle table exactly as the scalar butterfly loop does.
+    fn build(twiddles: &[Complex], n: usize, len: usize) -> Self {
+        let half = len / 2;
+        let step = n / len;
+        let ws: Vec<Complex> = twiddles.iter().step_by(step).take(half).copied().collect();
+        LaneStage {
+            half,
+            w_re: ws.iter().map(|w| w.re).collect(),
+            w_im: ws.iter().map(|w| w.im).collect(),
+        }
+    }
+}
 
 /// A reusable FFT plan for a fixed power-of-two length.
 ///
@@ -43,6 +75,10 @@ pub struct Fft {
     inv_twiddles: Vec<Complex>,
     /// Bit-reversal permutation indices.
     rev: Vec<u32>,
+    /// SoA twiddle tables per `len ≥ 8` stage, forward direction.
+    lane_stages: Vec<LaneStage>,
+    /// SoA twiddle tables per `len ≥ 8` stage, inverse direction.
+    inv_lane_stages: Vec<LaneStage>,
 }
 
 impl Fft {
@@ -56,12 +92,18 @@ impl Fft {
         let twiddles: Vec<Complex> = (0..n / 2)
             .map(|j| Complex::from_angle(-2.0 * std::f64::consts::PI * j as f64 / n as f64))
             .collect();
-        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
+        let inv_twiddles: Vec<Complex> = twiddles.iter().map(|w| w.conj()).collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
-        Fft { n, twiddles, inv_twiddles, rev }
+        let stage_lens = || {
+            std::iter::successors(Some(8usize), |l| l.checked_mul(2)).take_while(move |&l| l <= n)
+        };
+        let lane_stages = stage_lens().map(|len| LaneStage::build(&twiddles, n, len)).collect();
+        let inv_lane_stages =
+            stage_lens().map(|len| LaneStage::build(&inv_twiddles, n, len)).collect();
+        Fft { n, twiddles, inv_twiddles, rev, lane_stages, inv_lane_stages }
     }
 
     /// The transform length this plan was built for.
@@ -74,29 +116,60 @@ impl Fft {
         self.n == 0
     }
 
-    /// In-place forward DFT (no normalisation).
+    /// In-place forward DFT (no normalisation), on the process-wide
+    /// [`kernel_mode`].
     ///
     /// # Panics
     ///
     /// Panics if `buf.len()` differs from the plan length.
     pub fn forward(&self, buf: &mut [Complex]) {
-        self.transform(buf, &self.twiddles, false);
+        self.forward_with(buf, kernel_mode());
     }
 
-    /// In-place inverse DFT including the `1/N` normalisation.
+    /// [`Fft::forward`] with an explicit [`KernelMode`] — scalar and lane
+    /// paths are bit-identical, so this exists for differential tests and
+    /// benchmarks only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn forward_with(&self, buf: &mut [Complex], mode: KernelMode) {
+        self.transform(buf, &self.twiddles, &self.lane_stages, false, mode);
+    }
+
+    /// In-place inverse DFT including the `1/N` normalisation, on the
+    /// process-wide [`kernel_mode`].
     ///
     /// # Panics
     ///
     /// Panics if `buf.len()` differs from the plan length.
     pub fn inverse(&self, buf: &mut [Complex]) {
-        self.transform(buf, &self.inv_twiddles, true);
+        self.inverse_with(buf, kernel_mode());
+    }
+
+    /// [`Fft::inverse`] with an explicit [`KernelMode`] — scalar and lane
+    /// paths are bit-identical, so this exists for differential tests and
+    /// benchmarks only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn inverse_with(&self, buf: &mut [Complex], mode: KernelMode) {
+        self.transform(buf, &self.inv_twiddles, &self.inv_lane_stages, true, mode);
         let scale = 1.0 / self.n as f64;
         for x in buf.iter_mut() {
             *x = x.scale(scale);
         }
     }
 
-    fn transform(&self, buf: &mut [Complex], twiddles: &[Complex], inverse: bool) {
+    fn transform(
+        &self,
+        buf: &mut [Complex],
+        twiddles: &[Complex],
+        lane_stages: &[LaneStage],
+        inverse: bool,
+        mode: KernelMode,
+    ) {
         assert_eq!(buf.len(), self.n, "buffer length {} != plan length {}", buf.len(), self.n);
         let n = self.n;
         // Bit-reversal permutation.
@@ -130,7 +203,44 @@ impl Fft {
                 quad[3] = c - d;
             }
         }
-        // Remaining Cooley–Tukey stages with precomputed twiddles.
+        // Remaining Cooley–Tukey stages with precomputed twiddles. The
+        // lane path walks the same stages with [`LANES`] butterflies per
+        // op; each lane computes the exact per-element expressions of the
+        // scalar loop (`b·w`, then `a+bw` / `a−bw`), so both paths emit
+        // the same bits. Stages narrower than a lane (`half < LANES`) run
+        // the same expressions scalar-wise on the copied twiddle table.
+        if mode == KernelMode::Lanes {
+            for stage in lane_stages {
+                let half = stage.half;
+                for chunk in buf.chunks_exact_mut(half * 2) {
+                    let (lo, hi) = chunk.split_at_mut(half);
+                    if half < LANES {
+                        for k in 0..half {
+                            let w = Complex::new(stage.w_re[k], stage.w_im[k]);
+                            let a = lo[k];
+                            let b = hi[k] * w;
+                            lo[k] = a + b;
+                            hi[k] = a - b;
+                        }
+                        continue;
+                    }
+                    let mut k = 0;
+                    while k < half {
+                        let a = load_lanes(&lo[k..]);
+                        let b = load_lanes(&hi[k..]);
+                        let w = C64xL {
+                            re: F64xL::load(&stage.w_re[k..]),
+                            im: F64xL::load(&stage.w_im[k..]),
+                        };
+                        let bw = b * w;
+                        store_lanes(a + bw, &mut lo[k..]);
+                        store_lanes(a - bw, &mut hi[k..]);
+                        k += LANES;
+                    }
+                }
+            }
+            return;
+        }
         let mut len = 8;
         while len <= n {
             let half = len / 2;
@@ -148,6 +258,138 @@ impl Fft {
             }
             len <<= 1;
         }
+    }
+
+    /// In-place forward DFT over a **batch of [`LANES`] frames in SoA
+    /// layout**: element `i` of frame `l` lives at `re[i * LANES + l]` /
+    /// `im[i * LANES + l]`. Every butterfly processes the same element of
+    /// all [`LANES`] frames in one lane op; per frame the operation sequence is
+    /// exactly [`Fft::forward`]'s, so each frame's result is bit-identical
+    /// to a scalar per-frame transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` / `im` are not both exactly `LANES ×` the plan
+    /// length.
+    pub fn forward_soa(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform_soa(re, im, &self.lane_stages, false);
+    }
+
+    /// In-place inverse DFT (with `1/N` normalisation) over a batch of
+    /// [`LANES`] frames in the SoA layout of [`Fft::forward_soa`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` / `im` are not both exactly `LANES ×` the plan
+    /// length.
+    pub fn inverse_soa(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform_soa(re, im, &self.inv_lane_stages, true);
+        let scale = F64xL::splat(1.0 / self.n as f64);
+        for i in 0..self.n {
+            (row(re, i) * scale).store(&mut re[i * LANES..]);
+            (row(im, i) * scale).store(&mut im[i * LANES..]);
+        }
+    }
+
+    fn transform_soa(&self, re: &mut [f64], im: &mut [f64], lane_stages: &[LaneStage], inverse: bool) {
+        let n = self.n;
+        assert_eq!(re.len(), n * LANES, "SoA re length {} != {} lanes × plan length {}", re.len(), LANES, n);
+        assert_eq!(im.len(), n * LANES, "SoA im length {} != {} lanes × plan length {}", im.len(), LANES, n);
+        // Bit-reversal permutation: swap whole lane rows.
+        for (i, &j) in self.rev.iter().enumerate() {
+            let j = j as usize;
+            if i < j {
+                swap_rows(re, i, j);
+                swap_rows(im, i, j);
+            }
+        }
+        // Stage len=2: pure add/subtract, as in the scalar path.
+        for p in 0..n / 2 {
+            let (a, b) = (load_row2(re, im, 2 * p), load_row2(re, im, 2 * p + 1));
+            store_row2(a + b, re, im, 2 * p);
+            store_row2(a - b, re, im, 2 * p + 1);
+        }
+        // Stage len=4: twiddles 1 and ∓i — swap and sign flip, matching
+        // the scalar specialisation expression for expression.
+        if n >= 4 {
+            for q in 0..n / 4 {
+                let base = 4 * q;
+                let (a, b) = (load_row2(re, im, base), load_row2(re, im, base + 2));
+                store_row2(a + b, re, im, base);
+                store_row2(a - b, re, im, base + 2);
+                let c = load_row2(re, im, base + 1);
+                let x3 = load_row2(re, im, base + 3);
+                // d·(−i) forward, d·(+i) inverse.
+                let d = if inverse {
+                    C64xL { re: -x3.im, im: x3.re }
+                } else {
+                    C64xL { re: x3.im, im: -x3.re }
+                };
+                store_row2(c + d, re, im, base + 1);
+                store_row2(c - d, re, im, base + 3);
+            }
+        }
+        // Remaining stages: the twiddle is a per-butterfly scalar splat
+        // across the batch of frames.
+        for stage in lane_stages {
+            let half = stage.half;
+            let len = half * 2;
+            for chunk_base in (0..n).step_by(len) {
+                for k in 0..half {
+                    let (lo, hi) = (chunk_base + k, chunk_base + k + half);
+                    let a = load_row2(re, im, lo);
+                    let b = load_row2(re, im, hi);
+                    let w = C64xL::splat(stage.w_re[k], stage.w_im[k]);
+                    let bw = b * w;
+                    store_row2(a + bw, re, im, lo);
+                    store_row2(a - bw, re, im, hi);
+                }
+            }
+        }
+    }
+}
+
+/// Loads lane `i` of an SoA array as an [`F64xL`] row.
+#[inline(always)]
+fn row(soa: &[f64], i: usize) -> F64xL {
+    F64xL::load(&soa[i * LANES..])
+}
+
+/// Loads SoA row `i` of a split complex batch.
+#[inline(always)]
+fn load_row2(re: &[f64], im: &[f64], i: usize) -> C64xL {
+    C64xL { re: row(re, i), im: row(im, i) }
+}
+
+/// Stores a complex lane row back to SoA row `i`.
+#[inline(always)]
+fn store_row2(v: C64xL, re: &mut [f64], im: &mut [f64], i: usize) {
+    v.re.store(&mut re[i * LANES..]);
+    v.im.store(&mut im[i * LANES..]);
+}
+
+/// Swaps SoA rows `i` and `j`.
+#[inline(always)]
+fn swap_rows(soa: &mut [f64], i: usize, j: usize) {
+    for l in 0..LANES {
+        soa.swap(i * LANES + l, j * LANES + l);
+    }
+}
+
+/// Loads [`LANES`] consecutive AoS complex values into lane SoA form.
+#[inline(always)]
+fn load_lanes(src: &[Complex]) -> C64xL {
+    C64xL {
+        re: F64xL(std::array::from_fn(|l| src[l].re)),
+        im: F64xL(std::array::from_fn(|l| src[l].im)),
+    }
+}
+
+/// Stores a lane SoA value back to [`LANES`] consecutive AoS complex slots.
+#[inline(always)]
+fn store_lanes(v: C64xL, dst: &mut [Complex]) {
+    for (l, d) in dst[..LANES].iter_mut().enumerate() {
+        *d = Complex::new(v.re.0[l], v.im.0[l]);
     }
 }
 
@@ -335,6 +577,90 @@ mod tests {
             Fft::new(n).inverse(&mut fresh);
             assert_eq!(cached, fresh, "inverse n={n}");
         }
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_scalar() {
+        use crate::lanes::KernelMode;
+        for &n in &[8usize, 16, 64, 256] {
+            let plan = Fft::new(n);
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin() * 3.0, (i as f64 * 0.91).cos() - 0.2))
+                .collect();
+            let (mut lane, mut scalar) = (input.clone(), input.clone());
+            plan.forward_with(&mut lane, KernelMode::Lanes);
+            plan.forward_with(&mut scalar, KernelMode::Scalar);
+            for (a, b) in lane.iter().zip(&scalar) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "forward n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "forward n={n}");
+            }
+            plan.inverse_with(&mut lane, KernelMode::Lanes);
+            plan.inverse_with(&mut scalar, KernelMode::Scalar);
+            for (a, b) in lane.iter().zip(&scalar) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "inverse n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "inverse n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_batch_matches_per_frame_transform() {
+        use crate::lanes::{KernelMode, LANES};
+        for &n in &[4usize, 8, 64, 128] {
+            let plan = Fft::new(n);
+            let frames: Vec<Vec<Complex>> = (0..LANES)
+                .map(|l| {
+                    (0..n)
+                        .map(|i| {
+                            Complex::new(
+                                ((i * (l + 1)) as f64 * 0.53).sin(),
+                                ((i + 3 * l) as f64 * 0.71).cos(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            // Interleave to SoA, transform, and compare each lane to the
+            // scalar per-frame reference — down to the bit.
+            let mut re = vec![0.0; n * LANES];
+            let mut im = vec![0.0; n * LANES];
+            for (l, frame) in frames.iter().enumerate() {
+                for (i, x) in frame.iter().enumerate() {
+                    re[i * LANES + l] = x.re;
+                    im[i * LANES + l] = x.im;
+                }
+            }
+            plan.forward_soa(&mut re, &mut im);
+            let mut expected: Vec<Vec<Complex>> = frames.clone();
+            for frame in expected.iter_mut() {
+                plan.forward_with(frame, KernelMode::Scalar);
+            }
+            for (l, frame) in expected.iter().enumerate() {
+                for (i, x) in frame.iter().enumerate() {
+                    assert_eq!(re[i * LANES + l].to_bits(), x.re.to_bits(), "fwd n={n} lane={l} bin={i}");
+                    assert_eq!(im[i * LANES + l].to_bits(), x.im.to_bits(), "fwd n={n} lane={l} bin={i}");
+                }
+            }
+            plan.inverse_soa(&mut re, &mut im);
+            for frame in expected.iter_mut() {
+                plan.inverse_with(frame, KernelMode::Scalar);
+            }
+            for (l, frame) in expected.iter().enumerate() {
+                for (i, x) in frame.iter().enumerate() {
+                    assert_eq!(re[i * LANES + l].to_bits(), x.re.to_bits(), "inv n={n} lane={l} bin={i}");
+                    assert_eq!(im[i * LANES + l].to_bits(), x.im.to_bits(), "inv n={n} lane={l} bin={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SoA re length")]
+    fn soa_wrong_length_panics() {
+        let plan = Fft::new(8);
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 32];
+        plan.forward_soa(&mut re, &mut im);
     }
 
     #[test]

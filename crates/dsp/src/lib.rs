@@ -7,6 +7,9 @@
 //!   its whole DSP stack from scratch, so no `num-complex` dependency),
 //! * [`fft`] — an in-place radix-2 decimation-in-time FFT/IFFT used for OFDM
 //!   modulation and symbol-level energy detection,
+//! * [`lanes`] — fixed-width `f64` lane structs (LLVM-autovectorized SIMD
+//!   on stable Rust) plus the process-wide [`lanes::KernelMode`] switch
+//!   that selects scalar vs lane kernels across the symbol plane,
 //! * [`db`] — dB/linear and dBm/milliwatt conversions,
 //! * [`rng`] — seeded Gaussian and circularly-symmetric complex Gaussian
 //!   sources (Box–Muller over [`rand`]) for AWGN and Rayleigh fading,
@@ -29,15 +32,19 @@
 //! assert!((time[3] - spectrum[3]).norm() < 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod complex;
 pub mod db;
 pub mod fft;
+pub mod lanes;
 pub mod prbs;
 pub mod rng;
 pub mod stats;
 pub mod workspace;
 
 pub use complex::Complex;
+pub use lanes::{kernel_mode, set_kernel_mode, KernelMode};
 pub use db::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
 pub use prbs::Prbs127;
 pub use rng::GaussianSource;

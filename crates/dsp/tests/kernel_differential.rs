@@ -1,0 +1,87 @@
+//! Kernel differential property tests: the lane-vectorised FFT paths
+//! (in-place lane butterflies and the SoA batch layout) must be
+//! **bit-identical** to the scalar reference over arbitrary signals, plan
+//! lengths and directions.
+
+use cos_dsp::fft::Fft;
+use cos_dsp::lanes::LANES;
+use cos_dsp::{Complex, KernelMode};
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
+        len,
+    )
+}
+
+fn assert_bits_eq(a: &[Complex], b: &[Complex]) {
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}
+
+proptest! {
+    #[test]
+    fn lane_fft_is_bit_identical_to_scalar(
+        signal in arb_signal(128),
+        len_idx in 0usize..4,
+        inverse in 0usize..2,
+    ) {
+        let n = [8, 16, 64, 128][len_idx];
+        let plan = Fft::new(n);
+        let mut scalar = signal[..n].to_vec();
+        let mut lanes = signal[..n].to_vec();
+        if inverse == 1 {
+            plan.inverse_with(&mut scalar, KernelMode::Scalar);
+            plan.inverse_with(&mut lanes, KernelMode::Lanes);
+        } else {
+            plan.forward_with(&mut scalar, KernelMode::Scalar);
+            plan.forward_with(&mut lanes, KernelMode::Lanes);
+        }
+        assert_bits_eq(&scalar, &lanes);
+    }
+
+    #[test]
+    fn soa_batch_fft_is_bit_identical_to_per_frame(
+        frames in proptest::collection::vec(arb_signal(64), LANES..=LANES),
+        len_idx in 0usize..3,
+        inverse in 0usize..2,
+    ) {
+        let n = [8, 16, 64][len_idx];
+        let plan = Fft::new(n);
+
+        // Per-frame scalar reference.
+        let mut reference: Vec<Vec<Complex>> =
+            frames.iter().map(|f| f[..n].to_vec()).collect();
+        for r in reference.iter_mut() {
+            if inverse == 1 {
+                plan.inverse_with(r, KernelMode::Scalar);
+            } else {
+                plan.forward_with(r, KernelMode::Scalar);
+            }
+        }
+
+        // SoA lockstep batch.
+        let mut re = vec![0.0f64; n * LANES];
+        let mut im = vec![0.0f64; n * LANES];
+        for (lane, f) in frames.iter().enumerate() {
+            for i in 0..n {
+                re[i * LANES + lane] = f[i].re;
+                im[i * LANES + lane] = f[i].im;
+            }
+        }
+        if inverse == 1 {
+            plan.inverse_soa(&mut re, &mut im);
+        } else {
+            plan.forward_soa(&mut re, &mut im);
+        }
+        for (lane, want) in reference.iter().enumerate() {
+            for (i, w) in want.iter().enumerate() {
+                prop_assert_eq!(re[i * LANES + lane].to_bits(), w.re.to_bits());
+                prop_assert_eq!(im[i * LANES + lane].to_bits(), w.im.to_bits());
+            }
+        }
+    }
+}

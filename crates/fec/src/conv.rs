@@ -14,7 +14,7 @@ pub const CONSTRAINT: usize = 7;
 pub const STATES: usize = 1 << (CONSTRAINT - 1);
 
 #[inline]
-fn parity(x: u8) -> u8 {
+const fn parity(x: u8) -> u8 {
     (x.count_ones() & 1) as u8
 }
 
@@ -22,14 +22,14 @@ fn parity(x: u8) -> u8 {
 /// `input << 6 | state`, where `state` holds the previous six inputs
 /// (most recent in bit 5).
 #[inline]
-pub fn branch_output(state: u8, input: u8) -> (u8, u8) {
+pub const fn branch_output(state: u8, input: u8) -> (u8, u8) {
     let window = (input << 6) | state;
     (parity(window & GEN_A), parity(window & GEN_B))
 }
 
 /// Advances the 6-bit encoder state by one input bit.
 #[inline]
-pub fn next_state(state: u8, input: u8) -> u8 {
+pub const fn next_state(state: u8, input: u8) -> u8 {
     ((input << 5) | (state >> 1)) & 0x3F
 }
 

@@ -16,7 +16,10 @@
 //! * [`viterbi`] — a soft-decision Viterbi decoder. Feeding a **zero LLR**
 //!   for a bit marks it as an *erasure*: that bit contributes nothing to any
 //!   path metric, which is exactly the erasure Viterbi decoding (EVD) of the
-//!   CoS paper (§III-E, Eq. 7) — the decoder itself is unchanged,
+//!   CoS paper (§III-E, Eq. 7) — the decoder itself is unchanged. The
+//!   add-compare-select kernel has scalar, 4-states-per-op lane, and
+//!   4-frames-per-op lockstep implementations that emit identical bits
+//!   (see `docs/KERNELS.md`),
 //! * [`crc`] — CRC-32 (the 802.11 FCS).
 //!
 //! # Examples
@@ -35,6 +38,8 @@
 //! assert_eq!(decoded, data);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bits;
 pub mod conv;
 pub mod crc;
@@ -49,5 +54,5 @@ pub use crc::Crc32;
 pub use interleaver::Interleaver;
 pub use puncture::CodeRate;
 pub use scrambler::Scrambler;
-pub use viterbi::ViterbiDecoder;
-pub use workspace::{FecWorkspace, ViterbiWorkspace};
+pub use viterbi::{LaneFrame, ViterbiDecoder};
+pub use workspace::{FecWorkspace, SymbolBatch, ViterbiWorkspace};

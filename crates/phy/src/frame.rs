@@ -8,6 +8,7 @@
 use crate::error::PhyError;
 use crate::rates::DataRate;
 use cos_fec::bits::{append_bits_from_bytes, bits_to_bytes_into};
+use cos_fec::viterbi::LaneFrame;
 use cos_fec::{ConvEncoder, Crc32, FecWorkspace, Interleaver, Scrambler, ViterbiDecoder};
 use std::sync::OnceLock;
 
@@ -15,6 +16,8 @@ use std::sync::OnceLock;
 pub const SERVICE_BITS: usize = 16;
 /// Tail bits appended after the PSDU.
 pub const TAIL_BITS: usize = 6;
+/// SERVICE prefix bits needed to recover the scrambler seed.
+const SEED_BITS: usize = 7;
 
 /// The fully processed DATA field of one frame, with every intermediate
 /// stage retained for instrumentation (decoder-input BER, symbol-error
@@ -181,6 +184,48 @@ pub fn decode_data_field_into(
     bits: &mut Vec<u8>,
 ) -> Result<u8, PhyError> {
     bits.clear();
+    let prep = prepare_data_field_into(llrs, rate, psdu_len, fec)?;
+    run_staged_viterbi(prep, fec);
+    finish_data_field_into(fec, bits)
+}
+
+/// A DATA field staged for Viterbi decoding by
+/// [`prepare_data_field_into`]: the mother-code soft bits sit in
+/// `fec.mother_llrs[..coded_to_tail]`, truncated at the tail position so
+/// the trellis decodes with proper termination.
+///
+/// The token is what lets the Viterbi run be lifted out of the per-frame
+/// decode: stage several frames, decode their trellises together with
+/// [`cos_fec::ViterbiDecoder::decode_lockstep`] (via
+/// [`staged_lane_frame`]), then finish each with
+/// [`finish_data_field_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedDataField {
+    /// Mother-code soft bits to feed the decoder (even, ≥ 14).
+    pub coded_to_tail: usize,
+}
+
+impl PreparedDataField {
+    /// Trellis steps (= decoded bits) of the staged frame.
+    pub fn steps(&self) -> usize {
+        self.coded_to_tail / 2
+    }
+}
+
+/// The front half of [`decode_data_field_into`]: deinterleave,
+/// depuncture and truncate at the tail, staging the Viterbi input in
+/// `fec.mother_llrs` without running the decoder.
+///
+/// # Errors
+///
+/// [`PhyError::DataFieldTooShort`] when the soft-bit stream cannot even
+/// hold the 7-bit SERVICE scrambler prefix.
+pub fn prepare_data_field_into(
+    llrs: &[f64],
+    rate: DataRate,
+    psdu_len: usize,
+    fec: &mut FecWorkspace,
+) -> Result<PreparedDataField, PhyError> {
     // A truncated stream may end mid-symbol; only whole OFDM symbols can
     // be deinterleaved, so drop the ragged tail instead of asserting.
     let whole = llrs.len() - llrs.len() % rate.ncbps();
@@ -192,19 +237,58 @@ pub fn decode_data_field_into(
     let coded_to_tail = ((data_bits_to_tail * 2).min(fec.mother_llrs.len())) & !1;
     // Recovering the scrambler seed needs at least the 7 SERVICE prefix
     // bits, i.e. 14 mother-code bits.
-    const SEED_BITS: usize = 7;
     if coded_to_tail < SEED_BITS * 2 {
         return Err(PhyError::DataFieldTooShort {
             got: coded_to_tail / 2,
             need: SEED_BITS,
         });
     }
-    ViterbiDecoder::new().decode_into(
-        &fec.mother_llrs[..coded_to_tail],
+    Ok(PreparedDataField { coded_to_tail })
+}
+
+/// Runs the per-frame Viterbi on a staged DATA field, leaving the
+/// scrambled data bits in `fec.decoded` — the single-frame path between
+/// [`prepare_data_field_into`] and [`finish_data_field_into`].
+pub fn run_staged_viterbi(prep: PreparedDataField, fec: &mut FecWorkspace) {
+    let steps = prep.steps();
+    fec.decoded.clear();
+    fec.decoded.resize(steps, 0);
+    let FecWorkspace { mother_llrs, viterbi, decoded, .. } = fec;
+    ViterbiDecoder::new().decode_to_slices(
+        &mother_llrs[..prep.coded_to_tail],
         true,
-        &mut fec.viterbi,
-        &mut fec.decoded,
+        viterbi.prepared(steps),
+        decoded,
     );
+}
+
+/// Borrows a staged DATA field as one lockstep lane frame for
+/// [`cos_fec::ViterbiDecoder::decode_lockstep`], sizing the traceback
+/// scratch and `fec.decoded` in the process. The decoded bits land in
+/// `fec.decoded`, exactly where [`run_staged_viterbi`] leaves them.
+pub fn staged_lane_frame(prep: PreparedDataField, fec: &mut FecWorkspace) -> LaneFrame<'_> {
+    let steps = prep.steps();
+    fec.decoded.clear();
+    fec.decoded.resize(steps, 0);
+    let FecWorkspace { mother_llrs, viterbi, decoded, .. } = fec;
+    LaneFrame {
+        llrs: &mother_llrs[..prep.coded_to_tail],
+        prev_lsbs: viterbi.prepared(steps),
+        out: decoded,
+    }
+}
+
+/// The back half of [`decode_data_field_into`]: recovers the scrambler
+/// seed from the SERVICE prefix of `fec.decoded` and descrambles into
+/// `bits`.
+///
+/// # Errors
+///
+/// [`PhyError::ScramblerSeed`] when the seed cannot be recovered from the
+/// SERVICE prefix (possible only under catastrophic corruption); `bits`
+/// is left empty.
+pub fn finish_data_field_into(fec: &FecWorkspace, bits: &mut Vec<u8>) -> Result<u8, PhyError> {
+    bits.clear();
     let seed = Scrambler::recover_seed(&fec.decoded[..SEED_BITS]).ok_or(PhyError::ScramblerSeed)?;
     bits.extend_from_slice(&fec.decoded);
     Scrambler::new(seed).scramble_in_place(bits);

@@ -60,5 +60,7 @@ pub mod sync;
 pub mod tx;
 
 pub use error::PhyError;
-pub use pipeline::{PhyWorkspace, PipelineStage, RxPipeline, RxWorkspace, TxPipeline, TxWorkspace};
+pub use pipeline::{
+    PhyWorkspace, PipelineStage, RxBatchFrame, RxPipeline, RxWorkspace, TxPipeline, TxWorkspace,
+};
 pub use rates::DataRate;

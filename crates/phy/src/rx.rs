@@ -8,14 +8,18 @@
 //! zero LLR (paper Eq. 7).
 
 use crate::error::PhyError;
-use crate::frame::{decode_data_field_into, extract_payload_into};
+use crate::frame::{
+    extract_payload_into, finish_data_field_into, prepare_data_field_into, run_staged_viterbi,
+    PreparedDataField,
+};
 use crate::ofdm::{FreqSymbol, OfdmEngine};
 use crate::preamble::{self, ltf_value, PREAMBLE_LEN};
 use crate::rates::DataRate;
 use crate::signal::decode_signal_symbol;
 use crate::sync::Acquisition;
 use crate::subcarriers::{bin_of, data_bins, NUM_DATA, PILOT_INDICES, PILOT_VALUES, SYMBOL_LEN};
-use cos_dsp::{linear_to_db, Complex, Prbs127};
+use cos_dsp::lanes::LANES;
+use cos_dsp::{kernel_mode, linear_to_db, Complex, KernelMode, Prbs127};
 use cos_fec::FecWorkspace;
 
 /// Floor applied to noise-variance estimates so ideal (noise-free)
@@ -338,14 +342,35 @@ impl Receiver {
         raw_symbols.clear();
         data_y.clear();
         equalized.clear();
-        raw_symbols.reserve(n_symbols);
+        raw_symbols.resize(n_symbols, FreqSymbol::empty());
         data_y.reserve(n_symbols);
         equalized.reserve(n_symbols);
-        let mut pilot_noise_acc = 0.0;
-        for n in 0..n_symbols {
-            let start = sig_start + SYMBOL_LEN * (n + 1);
-            let sym = self.engine.demodulate(&samples[start..start + SYMBOL_LEN]);
 
+        // FFT pass: lockstep groups of LANES symbols through the SoA
+        // batch kernel, per-symbol for the remainder (and in scalar mode).
+        // The batch kernel is bit-identical to per-symbol demodulation, so
+        // the split point never shows in the output.
+        let mut n = 0;
+        if kernel_mode() == KernelMode::Lanes {
+            while n + LANES <= n_symbols {
+                let base = sig_start + SYMBOL_LEN * (n + 1);
+                let group: [&[Complex]; LANES] = std::array::from_fn(|l| {
+                    let start = base + SYMBOL_LEN * l;
+                    &samples[start..start + SYMBOL_LEN]
+                });
+                self.engine.demodulate_batch_into(group, &mut raw_symbols[n..]);
+                n += LANES;
+            }
+        }
+        for (m, sym) in raw_symbols.iter_mut().enumerate().skip(n) {
+            let start = sig_start + SYMBOL_LEN * (m + 1);
+            *sym = self.engine.demodulate(&samples[start..start + SYMBOL_LEN]);
+        }
+
+        // Tracking pass: pilot phase tracking, equalisation and noise
+        // estimation, symbol by symbol.
+        let mut pilot_noise_acc = 0.0;
+        for (n, sym) in raw_symbols.iter_mut().enumerate() {
             // Pilot phase tracking: residual CFO and phase noise rotate
             // every subcarrier of a symbol by a common phase; estimate it
             // from the four known pilots and derotate.
@@ -362,7 +387,6 @@ impl Receiver {
                 Complex::ONE
             };
 
-            let mut sym = sym;
             for bin_value in sym.0.iter_mut() {
                 *bin_value *= derotate;
             }
@@ -383,7 +407,6 @@ impl Receiver {
                 pilot_noise_acc += n_i.norm_sqr();
             }
 
-            raw_symbols.push(sym);
             data_y.push(y_row);
             equalized.push(eq_row);
         }
@@ -428,6 +451,27 @@ impl Receiver {
         scratch: &mut RxScratch,
         out: &mut RxDecodeOut,
     ) {
+        let prep = self.decode_prepare_into(fe, erasures, scratch, out);
+        if let Ok(prep) = prep {
+            run_staged_viterbi(prep, &mut scratch.fec);
+        }
+        self.decode_finish_into(fe, prep, scratch, out);
+    }
+
+    /// The demapping stage of [`Receiver::decode_into`]: soft-demaps every
+    /// equalised subcarrier (zero LLRs on erased ones) into `scratch.llrs`
+    /// and the hard decisions into `out.hard_coded_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the erasure mask's length differs from the symbol count.
+    pub fn demap_into(
+        &self,
+        fe: &FrontEnd,
+        erasures: Option<&[[bool; NUM_DATA]]>,
+        scratch: &mut RxScratch,
+        out: &mut RxDecodeOut,
+    ) {
         if let Some(mask) = erasures {
             assert_eq!(
                 mask.len(),
@@ -457,9 +501,50 @@ impl Receiver {
                 }
             }
         }
+    }
 
-        match decode_data_field_into(llrs, fe.rate, fe.psdu_len, &mut scratch.fec, &mut out.data_bits)
-        {
+    /// The front half of [`Receiver::decode_into`]: demap plus FEC staging
+    /// (deinterleave / depuncture / truncate), stopping right before the
+    /// Viterbi run so a batch driver can decode several frames' trellises
+    /// in lockstep.
+    ///
+    /// Pass the returned result — `Ok` or `Err` — to
+    /// [`Receiver::decode_finish_into`] after running the Viterbi (via
+    /// [`run_staged_viterbi`] or
+    /// [`cos_fec::ViterbiDecoder::decode_lockstep`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PhyError::DataFieldTooShort`] when the frame is too truncated to
+    /// stage; finish with the `Err` to record it in the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the erasure mask's length differs from the symbol count.
+    pub fn decode_prepare_into(
+        &self,
+        fe: &FrontEnd,
+        erasures: Option<&[[bool; NUM_DATA]]>,
+        scratch: &mut RxScratch,
+        out: &mut RxDecodeOut,
+    ) -> Result<PreparedDataField, PhyError> {
+        self.demap_into(fe, erasures, scratch, out);
+        prepare_data_field_into(&scratch.llrs, fe.rate, fe.psdu_len, &mut scratch.fec)
+    }
+
+    /// The back half of [`Receiver::decode_into`]: descrambles the decoded
+    /// bits, verifies the CRC and fills the output fields. `prep` is the
+    /// result of [`Receiver::decode_prepare_into`]; on `Ok` the Viterbi
+    /// must already have run into `scratch.fec.decoded`.
+    pub fn decode_finish_into(
+        &self,
+        fe: &FrontEnd,
+        prep: Result<PreparedDataField, PhyError>,
+        scratch: &mut RxScratch,
+        out: &mut RxDecodeOut,
+    ) {
+        let result = prep.and_then(|_| finish_data_field_into(&scratch.fec, &mut out.data_bits));
+        match result {
             Ok(seed) => {
                 out.scrambler_seed = Some(seed);
                 out.decode_error = None;

@@ -31,8 +31,11 @@ cargo run -q --release -p cos-bench --bin alloc_gate -- --check
 echo "== golden vectors (frozen waveforms + decodes for all 8 rates; any bit/sample drift fails)"
 cargo test -q --release --test golden_vectors
 
-echo "== session_storm --smoke (1000+ pooled sessions: engine outcomes byte-identical at 1/4/8 threads)"
-cargo run -q --release -p cos-bench --bin session_storm -- --smoke
+echo "== golden vectors under COS_KERNELS=scalar (the lane/scalar bit-identity contract, end to end)"
+COS_KERNELS=scalar cargo test -q --release --test golden_vectors
+
+echo "== session_storm --smoke --kernels both (1000+ pooled sessions: engine outcomes byte-identical at 1/4/8 threads AND across scalar/lane kernels)"
+cargo run -q --release -p cos-bench --bin session_storm -- --smoke --kernels both
 
 echo "== adaptation_storm --smoke (closed-loop controller: adaptive outcomes byte-identical at 1/4/8 threads + drift-duel gate)"
 cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke
