@@ -23,12 +23,19 @@
 //! any determinism or duel failure. `--smoke` runs a reduced fleet and
 //! the quick duel config in well under 30 s; `--sessions N` /
 //! `--rounds N` override the storm scale.
+//!
+//! Since PR 10 the engine bundles adaptive jobs into lockstep rounds
+//! (batched channel impairment + lockstep Viterbi), so `--kernels
+//! scalar|lanes|both` (default `both`) re-runs the determinism storm
+//! under each symbol-plane kernel and asserts the digests match across
+//! kernels as well as across thread counts.
 
 use std::time::Instant;
 
 use cos_core::adaptation::{AdaptationConfig, ProbeEvent, ProbeState, StaircaseEvent};
 use cos_core::engine::{BatchEngine, EngineConfig, JobOutcome, JobResult, SessionId, SessionPool};
 use cos_core::session::{AdaptiveSummary, PacketSummary, SessionConfig};
+use cos_dsp::{set_kernel_mode, KernelMode};
 use cos_experiments::adaptation::{self, ContenderResult, Scheme};
 use cos_phy::rates::DataRate;
 
@@ -219,17 +226,30 @@ fn contender_name(r: &ContenderResult) -> String {
 }
 
 fn arg_value(name: &str) -> Option<usize> {
+    arg_text(name).map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")))
+}
+
+fn arg_text(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     for (i, arg) in args.iter().enumerate() {
         if let Some(v) = arg.strip_prefix(&format!("--{name}=")) {
-            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+            return Some(v.to_string());
         }
         if arg == &format!("--{name}") {
             let v = args.get(i + 1).unwrap_or_else(|| panic!("--{name} requires a value"));
-            return Some(v.parse().unwrap_or_else(|_| panic!("--{name} takes an integer")));
+            return Some(v.to_string());
         }
     }
     None
+}
+
+fn kernel_modes(spec: &str) -> Vec<(&'static str, KernelMode)> {
+    match spec {
+        "scalar" => vec![("scalar", KernelMode::Scalar)],
+        "lanes" => vec![("lanes", KernelMode::Lanes)],
+        "both" => vec![("scalar", KernelMode::Scalar), ("lanes", KernelMode::Lanes)],
+        other => panic!("--kernels takes scalar|lanes|both, got {other:?}"),
+    }
 }
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
@@ -238,18 +258,29 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sessions = arg_value("sessions").unwrap_or(if smoke { 192 } else { 512 });
     let rounds = arg_value("rounds").unwrap_or(if smoke { 3 } else { 6 });
+    let kernels = arg_text("kernels").unwrap_or_else(|| "both".to_string());
+    let modes = kernel_modes(&kernels);
 
-    eprintln!("adaptation_storm: {sessions} sessions, {rounds} rounds, threads {THREAD_COUNTS:?}");
+    eprintln!(
+        "adaptation_storm: {sessions} sessions, {rounds} rounds, threads {THREAD_COUNTS:?}, \
+         kernels {kernels}"
+    );
 
-    let storms: Vec<StormResult> =
-        THREAD_COUNTS.iter().map(|&t| run_storm(sessions, rounds, t)).collect();
-    let deterministic = storms.iter().all(|s| s.digest == storms[0].digest);
-    for (t, s) in THREAD_COUNTS.iter().zip(&storms) {
-        eprintln!(
-            "  threads={t}: digest {:016x}, {} jobs, {:.0} frames/sec",
-            s.digest, s.jobs, s.frames_per_sec
-        );
+    // One storm per (kernel, thread count); the adaptive lockstep bundles
+    // must produce one digest across the whole grid.
+    let mut storms: Vec<StormResult> = Vec::new();
+    for &(name, mode) in &modes {
+        set_kernel_mode(mode);
+        for &t in &THREAD_COUNTS {
+            let s = run_storm(sessions, rounds, t);
+            eprintln!(
+                "  kernels={name} threads={t}: digest {:016x}, {} jobs, {:.0} frames/sec",
+                s.digest, s.jobs, s.frames_per_sec
+            );
+            storms.push(s);
+        }
     }
+    let deterministic = storms.iter().all(|s| s.digest == storms[0].digest);
 
     let duel_cfg =
         if smoke { adaptation::Config::quick() } else { adaptation::Config::default() };
@@ -272,6 +303,9 @@ fn main() {
     );
 
     if !smoke {
+        // Timing rows come from the last kernel mode's sweep (lanes when
+        // `--kernels both`); the digest is shared by every storm anyway.
+        let timed = &storms[storms.len() - THREAD_COUNTS.len()..];
         let mut rows = String::new();
         for (i, r) in duel.iter().enumerate() {
             rows.push_str(&format!(
@@ -289,15 +323,17 @@ fn main() {
         let json = format!(
             "{{\n  \"bench\": \"adaptation_storm\",\n  \"methodology\": \"Phase 1: {sessions} \
              adaptive sessions x {rounds} rounds through the batch engine at 1/4/8 worker \
-             threads, with per-round triangle SNR drift, control messages queued into the \
-             adaptive ARQ, and create/release churn; every AdaptiveSummary field is FNV-digested \
-             (f64 via to_bits) and digests must match across thread counts. Phase 2: the \
+             threads under kernels={kernels}, with per-round triangle SNR drift, control \
+             messages queued into the adaptive ARQ, and create/release churn; every \
+             AdaptiveSummary field is FNV-digested (f64 via to_bits) and digests must match \
+             across thread counts and kernel modes. Phase 2: the \
              fig07_adaptation drift duel — closed-loop controller vs the fixed (rate, budget) \
              grid on paired seeded channels over a {} <-> {} dB triangle, {} trials x {} \
              packets; the controller must reach best-fixed goodput with 100% control delivery \
              and a drained backlog.\",\n  \"storm\": {{\n    \"sessions\": {sessions},\n    \
              \"rounds\": {rounds},\n    \"jobs_per_storm\": {},\n    \"thread_counts\": [1, 4, 8],\n    \
-             \"outcome_digest\": \"{:016x}\",\n    \"deterministic_across_threads\": {deterministic},\n    \
+             \"kernels\": \"{kernels}\",\n    \
+             \"outcome_digest\": \"{:016x}\",\n    \"deterministic_across_threads_and_kernels\": {deterministic},\n    \
              \"frames_per_sec\": {{\n      \"threads_1\": {:.2},\n      \"threads_4\": {:.2},\n      \
              \"threads_8\": {:.2}\n    }}\n  }},\n  \"duel\": {{\n{rows}  }},\n  \
              \"adaptive_beats_best_fixed\": {beats},\n  \"adaptive_control_delivery\": {:.4},\n  \
@@ -308,9 +344,9 @@ fn main() {
             duel_cfg.packets,
             storms[0].jobs,
             storms[0].digest,
-            storms[0].frames_per_sec,
-            storms[1].frames_per_sec,
-            storms[2].frames_per_sec,
+            timed[0].frames_per_sec,
+            timed[1].frames_per_sec,
+            timed[2].frames_per_sec,
             adaptive.control_delivery,
             adaptive.backlog,
         );
@@ -320,7 +356,9 @@ fn main() {
 
     let mut failed = false;
     if !deterministic {
-        eprintln!("adaptation_storm FAILED: outcome digests differ across thread counts");
+        eprintln!(
+            "adaptation_storm FAILED: outcome digests differ across thread counts or kernels"
+        );
         failed = true;
     }
     if !beats {

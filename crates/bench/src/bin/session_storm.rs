@@ -20,7 +20,12 @@
 //! bit-identical to the scalar reference the outcome digests must agree
 //! across kernels as well as thread counts.
 //!
-//! Writes `BENCH_pr9.json` to the current directory and exits non-zero
+//! PR 10 extends the lockstep rounds to the channel stage and to
+//! resilient jobs: the engine bundles every job kind by payload length,
+//! airs full rounds through `Link::transmit_batch_into`, and the digests
+//! must still agree across kernels and thread counts.
+//!
+//! Writes `BENCH_pr10.json` to the current directory and exits non-zero
 //! on any determinism or (full run) allocation failure. `--smoke` runs a
 //! reduced schedule in well under 30 s and gates only determinism;
 //! `--sessions N` / `--rounds N` override the scale.
@@ -346,6 +351,18 @@ fn main() {
          kernels {kernels}"
     );
 
+    if std::env::args().any(|a| a == "--steady-only") {
+        for &(name, mode) in &modes {
+            set_kernel_mode(mode);
+            let alloc = run_alloc_phase(sessions.max(1000), max_warm, measured);
+            eprintln!(
+                "  [{name}] steady state: {:.3} allocs/frame, {:.0} frames/sec",
+                alloc.allocs_per_frame, alloc.frames_per_sec
+            );
+        }
+        return;
+    }
+
     let mut reports: Vec<ModeReport> = Vec::new();
     for &(name, mode) in &modes {
         // Pinned before any worker thread spawns, so every storm below
@@ -410,7 +427,7 @@ fn main() {
             sessions.max(1000),
             reference,
         );
-        std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
+        std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
         print!("{json}");
     }
 

@@ -1,6 +1,62 @@
 //! Additive white Gaussian noise.
+//!
+//! The per-sample apply has a scalar reference and a lane kernel selected
+//! by [`cos_dsp::lanes::kernel_mode`]. Both produce the same bits: the
+//! lane path first draws the standard normals **in the exact scalar
+//! order** (Box–Muller draws are value-independent, so pre-drawing them
+//! into SoA scratch changes nothing), then applies
+//! `x + n·s` lanewise with the same per-element expression the scalar
+//! loop uses. The Box–Muller transcendentals themselves stay serial —
+//! the channel stage's SIMD win lives in the multipath convolution
+//! ([`crate::multipath`]), not here; see `docs/KERNELS.md`.
 
+use cos_dsp::lanes::{kernel_mode, F64xL, KernelMode, LANES};
 use cos_dsp::{Complex, GaussianSource};
+
+/// Lane apply of seeded complex Gaussian noise, shared by [`Awgn`] and
+/// [`crate::overlap::OverlapComposer`].
+///
+/// Draws `2 · samples.len()` standard normals from `rng` in exactly the
+/// order the scalar `complex_normal` loop would (re, im, re, im, …),
+/// storing them de-interleaved in the caller's grow-only scratch, then
+/// adds `Complex::new(n_re · s, n_im · s)` to each sample where
+/// `s = (variance / 2).sqrt()` — the same expression, in the same order,
+/// as `complex_normal`, so the result is bit-identical to the scalar
+/// path.
+pub(crate) fn add_gaussian_lanes(
+    samples: &mut [Complex],
+    rng: &mut GaussianSource,
+    variance: f64,
+    nre: &mut Vec<f64>,
+    nim: &mut Vec<f64>,
+) {
+    let s = (variance / 2.0).sqrt();
+    let n = samples.len();
+    nre.clear();
+    nim.clear();
+    for _ in 0..n {
+        // Draw order is the scalar order: one (re, im) pair per sample.
+        nre.push(rng.standard_normal());
+        nim.push(rng.standard_normal());
+    }
+    let scale = F64xL::splat(s);
+    let mut i = 0;
+    while i + LANES <= n {
+        let xre = F64xL(std::array::from_fn(|l| samples[i + l].re));
+        let xim = F64xL(std::array::from_fn(|l| samples[i + l].im));
+        // `x + n·s` per lane: the scalar loop's `*x += Complex::new(
+        // standard_normal() * s, standard_normal() * s)` verbatim.
+        let yre = xre + F64xL::load(&nre[i..]) * scale;
+        let yim = xim + F64xL::load(&nim[i..]) * scale;
+        for l in 0..LANES {
+            samples[i + l] = Complex::new(yre.0[l], yim.0[l]);
+        }
+        i += LANES;
+    }
+    for j in i..n {
+        samples[j] += Complex::new(nre[j] * s, nim[j] * s);
+    }
+}
 
 /// A seeded AWGN source with a fixed per-sample (time-domain) noise
 /// variance.
@@ -19,6 +75,10 @@ use cos_dsp::{Complex, GaussianSource};
 pub struct Awgn {
     noise_var: f64,
     rng: GaussianSource,
+    /// Grow-only SoA scratch for the lane kernel's pre-drawn normals
+    /// (real parts / imaginary parts).
+    nre: Vec<f64>,
+    nim: Vec<f64>,
 }
 
 impl Awgn {
@@ -30,7 +90,7 @@ impl Awgn {
     /// Panics if `noise_var` is negative or not finite.
     pub fn new(noise_var: f64, seed: u64) -> Self {
         assert!(noise_var >= 0.0 && noise_var.is_finite(), "invalid noise variance {noise_var}");
-        Awgn { noise_var, rng: GaussianSource::new(seed) }
+        Awgn { noise_var, rng: GaussianSource::new(seed), nre: Vec::new(), nim: Vec::new() }
     }
 
     /// The configured per-sample noise variance.
@@ -60,10 +120,30 @@ impl Awgn {
             .collect()
     }
 
-    /// Adds noise in place.
+    /// Adds noise in place, on the process-wide kernel mode.
     pub fn add_noise_in_place(&mut self, samples: &mut [Complex]) {
-        for x in samples.iter_mut() {
-            *x += self.rng.complex_normal(self.noise_var);
+        self.add_noise_in_place_with(samples, kernel_mode());
+    }
+
+    /// [`Awgn::add_noise_in_place`] on an explicit kernel, so the
+    /// differential tests can pin a path. Scalar and lanes are
+    /// bit-identical (same draw order, same per-element expression).
+    pub fn add_noise_in_place_with(&mut self, samples: &mut [Complex], mode: KernelMode) {
+        match mode {
+            KernelMode::Scalar => {
+                for x in samples.iter_mut() {
+                    *x += self.rng.complex_normal(self.noise_var);
+                }
+            }
+            KernelMode::Lanes => {
+                add_gaussian_lanes(
+                    samples,
+                    &mut self.rng,
+                    self.noise_var,
+                    &mut self.nre,
+                    &mut self.nim,
+                );
+            }
         }
     }
 }
@@ -96,6 +176,37 @@ mod tests {
         let mut buf = tx;
         Awgn::new(0.1, 3).add_noise_in_place(&mut buf);
         assert_eq!(buf, owned);
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_bit_for_bit() {
+        // Uneven length exercises both the lane body and the tail.
+        for len in [0usize, 1, 7, 8, 9, 64, 171] {
+            let tx: Vec<Complex> =
+                (0..len).map(|i| Complex::new(i as f64 * 0.25 - 3.0, 1.5 - i as f64 * 0.125)).collect();
+            let mut a = tx.clone();
+            let mut b = tx;
+            Awgn::new(0.05, 77).add_noise_in_place_with(&mut a, KernelMode::Scalar);
+            Awgn::new(0.05, 77).add_noise_in_place_with(&mut b, KernelMode::Lanes);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "len {len}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_leaves_rng_stream_in_scalar_state() {
+        // Interleaving kernel modes mid-stream must not fork the draws.
+        let mut a = Awgn::new(0.1, 5);
+        let mut b = Awgn::new(0.1, 5);
+        let mut buf_a = vec![Complex::ONE; 13];
+        let mut buf_b = vec![Complex::ONE; 13];
+        a.add_noise_in_place_with(&mut buf_a, KernelMode::Scalar);
+        b.add_noise_in_place_with(&mut buf_b, KernelMode::Lanes);
+        a.add_noise_in_place_with(&mut buf_a, KernelMode::Lanes);
+        b.add_noise_in_place_with(&mut buf_b, KernelMode::Scalar);
+        assert_eq!(buf_a, buf_b);
     }
 
     #[test]

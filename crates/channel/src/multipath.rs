@@ -9,7 +9,22 @@
 //! (Fig. 7) despite mobility.
 
 use cos_dsp::fft::plan;
+use cos_dsp::lanes::{C64xL, KernelMode, LANES};
 use cos_dsp::{Complex, GaussianSource};
+
+/// Grow-only scratch for the lane convolution kernel: the composite taps
+/// staged once per frame, and the input samples transposed to SoA so the
+/// inner loop does contiguous lane loads instead of strided gathers.
+///
+/// Owned by whoever drives [`IndoorChannel::apply_append_with`] on the
+/// hot path (a [`crate::Link`] owns one), so steady-state transmission
+/// stays allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    taps: Vec<Complex>,
+    xre: Vec<f64>,
+    xim: Vec<f64>,
+}
 
 /// Configuration of the indoor tapped-delay-line channel.
 #[derive(Debug, Clone, Copy)]
@@ -185,6 +200,95 @@ impl IndoorChannel {
         }
     }
 
+    /// The current composite tap `l` (`specular[l] + diffuse[l]`) without
+    /// allocating — the same expression [`IndoorChannel::apply_append`]
+    /// sums inline, so the bits match the scalar convolution exactly.
+    #[inline]
+    pub(crate) fn tap(&self, l: usize) -> Complex {
+        self.specular[l] + self.diffuse[l]
+    }
+
+    /// [`IndoorChannel::apply_append`] on an explicit kernel.
+    ///
+    /// The lane path vectorizes **across output samples**: each output
+    /// `y[j] = Σ_l x[j−l]·h[l]` is an independent scalar computation, and
+    /// the kernel evaluates eight adjacent `j` per op, each accumulating
+    /// its tap sum in descending-`l` order from zero — exactly the order
+    /// the scalar loop's ascending-`i` accumulation produces for that
+    /// output. The head (`j < taps−1`) and tail (`j ≥ samples`) outputs,
+    /// whose tap ranges are clipped, run the same descending-`l` sum
+    /// per-output. Bit-identical to scalar by the ordering contract in
+    /// `docs/KERNELS.md`; gated by
+    /// `crates/channel/tests/kernel_differential.rs`.
+    pub fn apply_append_with(
+        &self,
+        samples: &[Complex],
+        out: &mut Vec<Complex>,
+        mode: KernelMode,
+        scratch: &mut ConvScratch,
+    ) {
+        if mode == KernelMode::Scalar {
+            self.apply_append(samples, out);
+            return;
+        }
+        let n_taps = self.specular.len();
+        let n = samples.len();
+        let base = out.len();
+        let total = n + n_taps - 1;
+        out.resize(base + total, Complex::ZERO);
+        let region = &mut out[base..];
+
+        // Stage the composite taps once (same `s + d` expression as the
+        // scalar loop) and transpose the input to SoA for contiguous
+        // lane loads.
+        scratch.taps.clear();
+        scratch.taps.extend(
+            self.specular.iter().zip(&self.diffuse).map(|(s, d)| *s + *d),
+        );
+        scratch.xre.clear();
+        scratch.xim.clear();
+        scratch.xre.extend(samples.iter().map(|x| x.re));
+        scratch.xim.extend(samples.iter().map(|x| x.im));
+        let taps = &scratch.taps[..n_taps];
+
+        // Interior outputs j ∈ [n_taps−1, n) see the full tap range; run
+        // them in lane chunks of eight.
+        let int_lo = n_taps - 1;
+        let mut j0 = int_lo;
+        while n >= LANES && j0 + LANES <= n {
+            let mut acc = C64xL::default();
+            for l in (0..n_taps).rev() {
+                let i = j0 - l;
+                let x = C64xL::load_split(&scratch.xre[i..], &scratch.xim[i..]);
+                acc = acc + x * C64xL::splat(taps[l].re, taps[l].im);
+            }
+            for (k, r) in region[j0..j0 + LANES].iter_mut().enumerate() {
+                *r = Complex::new(acc.re.0[k], acc.im.0[k]);
+            }
+            j0 += LANES;
+        }
+
+        // Everything outside the lane-chunked span — the head, the tail
+        // and any interior remainder — runs the same clipped descending-l
+        // sum one output at a time.
+        let covered = int_lo.max(j0);
+        let mut edge = |j: usize| {
+            let l_hi = (n_taps - 1).min(j);
+            let l_lo = if j >= n { j + 1 - n } else { 0 };
+            let mut acc = Complex::ZERO;
+            for l in (l_lo..=l_hi).rev() {
+                acc += samples[j - l] * taps[l];
+            }
+            region[j] = acc;
+        };
+        for j in 0..int_lo.min(total) {
+            edge(j);
+        }
+        for j in covered..total {
+            edge(j);
+        }
+    }
+
     /// The 64-bin frequency response `H[k] = Σ_l h_l e^{−j2πkl/64}` — what
     /// the receiver's LTF estimate converges to without noise.
     pub fn freq_response(&self) -> [Complex; 64] {
@@ -331,6 +435,30 @@ mod tests {
                 .sum::<f64>()
         };
         assert!(drift_for(20.0) < drift_for(0.0));
+    }
+
+    #[test]
+    fn lane_convolution_matches_scalar_bit_for_bit() {
+        let mut scratch = ConvScratch::default();
+        for n_taps in [1usize, 2, 6, 16] {
+            let cfg = ChannelConfig { n_taps, ..ChannelConfig::default() };
+            let ch = IndoorChannel::new(cfg, 31 + n_taps as u64);
+            for len in [0usize, 1, 5, 8, 15, 16, 17, 64, 333] {
+                let tx: Vec<Complex> = (0..len)
+                    .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                    .collect();
+                // Both paths append after a pre-existing prefix.
+                let mut a = vec![Complex::ONE; 3];
+                let mut b = a.clone();
+                ch.apply_append(&tx, &mut a);
+                ch.apply_append_with(&tx, &mut b, KernelMode::Lanes, &mut scratch);
+                assert_eq!(a.len(), b.len(), "taps {n_taps} len {len}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "taps {n_taps} len {len}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "taps {n_taps} len {len}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! same slot plan on the same link yields bit-identical samples, which is
 //! what keeps the mesh byte-identical at any thread count.
 
+use crate::awgn::add_gaussian_lanes;
 use crate::impairment::{Impairment, ImpairmentCtx};
+use cos_dsp::lanes::{kernel_mode, KernelMode};
 use cos_dsp::{db_to_linear, Complex, GaussianSource};
 
 /// One concurrent transmission overlapping a victim frame, as seen by the
@@ -64,6 +66,9 @@ impl Overlap {
 #[derive(Debug, Clone, Default)]
 pub struct OverlapComposer {
     overlaps: Vec<Overlap>,
+    /// Grow-only SoA scratch for the lane kernel's pre-drawn normals.
+    nre: Vec<f64>,
+    nim: Vec<f64>,
 }
 
 impl OverlapComposer {
@@ -92,6 +97,41 @@ impl OverlapComposer {
     pub fn is_empty(&self) -> bool {
         self.overlaps.is_empty()
     }
+
+    /// [`Impairment::impair_waveform`] on an explicit kernel, so the
+    /// differential tests can pin a path. The lane path pre-draws each
+    /// interferer's normals in the exact scalar order (re, im per
+    /// sample), then applies the same `x + n·s` expression lanewise —
+    /// bit-identical to scalar.
+    pub fn impair_waveform_with(
+        &mut self,
+        samples: &mut Vec<Complex>,
+        ctx: &ImpairmentCtx,
+        mode: KernelMode,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        let len = samples.len();
+        let OverlapComposer { overlaps, nre, nim } = self;
+        for overlap in overlaps.iter() {
+            let power = ctx.noise_var * db_to_linear(overlap.power_db_over_noise);
+            let start = ((overlap.start_frac.clamp(0.0, 1.0) * len as f64) as usize).min(len);
+            // Re-seeded per application: the draw depends only on the spec
+            // and the victim length, never on how often it was applied.
+            let mut rng = GaussianSource::new(overlap.seed);
+            match mode {
+                KernelMode::Scalar => {
+                    for x in &mut samples[start..] {
+                        *x += rng.complex_normal(power);
+                    }
+                }
+                KernelMode::Lanes => {
+                    add_gaussian_lanes(&mut samples[start..], &mut rng, power, nre, nim);
+                }
+            }
+        }
+    }
 }
 
 impl Impairment for OverlapComposer {
@@ -100,20 +140,7 @@ impl Impairment for OverlapComposer {
     }
 
     fn impair_waveform(&mut self, samples: &mut Vec<Complex>, ctx: &ImpairmentCtx) {
-        if samples.is_empty() {
-            return;
-        }
-        let len = samples.len();
-        for overlap in &self.overlaps {
-            let power = ctx.noise_var * db_to_linear(overlap.power_db_over_noise);
-            let start = ((overlap.start_frac.clamp(0.0, 1.0) * len as f64) as usize).min(len);
-            // Re-seeded per application: the draw depends only on the spec
-            // and the victim length, never on how often it was applied.
-            let mut rng = GaussianSource::new(overlap.seed);
-            for x in &mut samples[start..] {
-                *x += rng.complex_normal(power);
-            }
-        }
+        self.impair_waveform_with(samples, ctx, kernel_mode());
     }
 
     fn boxed_clone(&self) -> Box<dyn Impairment> {
@@ -189,6 +216,24 @@ mod tests {
         // Same composer applied again (fresh buffer): identical strike.
         c.impair_waveform(&mut b, &ctx());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_kernel_matches_scalar_bit_for_bit() {
+        let mut c = OverlapComposer::new()
+            .with(Overlap::new(25.0, 0.37, 11))
+            .with(Overlap::new(18.0, 0.0, 12))
+            .with(Overlap::new(5.0, 0.93, 13));
+        for len in [1usize, 7, 8, 100, 1021] {
+            let mut a = vec![Complex::ONE; len];
+            let mut b = vec![Complex::ONE; len];
+            c.impair_waveform_with(&mut a, &ctx(), cos_dsp::KernelMode::Scalar);
+            c.impair_waveform_with(&mut b, &ctx(), cos_dsp::KernelMode::Lanes);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "len {len}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "len {len}");
+            }
+        }
     }
 
     #[test]

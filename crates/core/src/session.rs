@@ -33,6 +33,7 @@ use crate::resilience::{
 use crate::subcarrier_select::{select_control_subcarriers_into, SelectionPolicy};
 use crate::validation::{sanitize_selection, validate_silences_into};
 use cos_channel::{ChannelConfig, FaultEngine, FeedbackFate, Link};
+use cos_dsp::Complex;
 use cos_fec::LaneFrame;
 use cos_phy::error::PhyError;
 use cos_phy::evm::{per_subcarrier_evm, reconstruct_points_into};
@@ -74,6 +75,45 @@ impl PlainPrep {
             _ => None,
         }
     }
+}
+
+/// `Copy` token carrying the tx-side facts of one built frame, from
+/// [`CosSession::transceive_prepare_tx`] to
+/// [`CosSession::transceive_prepare_rx`] — the air seam the engine's
+/// batched channel ([`Link::transmit_batch_into`]) slots between: build
+/// and render several sessions' frames, impair all their waveforms in
+/// lockstep, then run each receive chain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TxPrep {
+    silences_sent: usize,
+    rate: DataRate,
+    embed_control: bool,
+}
+
+/// `Copy` token of one resilient-path frame between
+/// [`CosSession::resilient_prepare_tx`] and
+/// [`CosSession::resilient_finish`]. The control bits themselves stay in
+/// the session's `ResilienceState::msg`, where the finish half reads
+/// them back.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResilientTx {
+    /// The inner tx token, consumed by the receive-prepare stage.
+    pub(crate) tx: TxPrep,
+    mode: LinkMode,
+    attempted: bool,
+    from_queue: bool,
+}
+
+/// `Copy` token of one adaptive-path frame between
+/// [`CosSession::adaptive_prepare_tx`] and
+/// [`CosSession::adaptive_finish`]; the composed probe message stays in
+/// the session's `AdaptationState::msg`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AdaptiveTx {
+    /// The inner tx token, consumed by the receive-prepare stage.
+    pub(crate) tx: TxPrep,
+    target: usize,
+    from_queue: bool,
 }
 
 /// Configuration of a CoS session.
@@ -305,7 +345,7 @@ pub struct ResilientSummary {
 
 /// The resilient path's outcome before report/summary packaging.
 #[derive(Debug, Clone, Copy)]
-struct ResilientCore {
+pub(crate) struct ResilientCore {
     t: Transceived,
     mode: LinkMode,
     mode_after: LinkMode,
@@ -369,7 +409,7 @@ pub struct AdaptiveSummary {
 
 /// The adaptive path's outcome before report/summary packaging.
 #[derive(Debug, Clone, Copy)]
-struct AdaptiveCore {
+pub(crate) struct AdaptiveCore {
     t: Transceived,
     budget: usize,
     rate_after: DataRate,
@@ -423,6 +463,10 @@ struct ResilienceState {
     /// Recent receiver reports, newest first — consulted for
     /// [`FeedbackFate::Stale`] deliveries.
     history: VecDeque<HistoryEntry>,
+    /// The control message actually embedded this packet (the ARQ head,
+    /// or empty for the channel-probe marker) — kept in the state so the
+    /// finish half of the split path can verify it against the decode.
+    msg: Vec<u8>,
 }
 
 /// How many past feedback reports are kept for stale delivery.
@@ -480,6 +524,7 @@ impl CosSession {
             ctrl: DegradedModeController::new(cfg),
             tally: PhyErrorTally::new(),
             history: VecDeque::new(),
+            msg: Vec::new(),
         });
         let adaptation = config.adaptation.is_some().then(|| AdaptationState::new(&config));
         CosSession {
@@ -522,6 +567,7 @@ impl CosSession {
             ctrl: DegradedModeController::new(cfg),
             tally: PhyErrorTally::new(),
             history: VecDeque::new(),
+            msg: Vec::new(),
         });
         self.detector = EnergyDetector::new(config.detector_bias_db);
         self.controller = PowerController::new(codec);
@@ -697,6 +743,7 @@ impl CosSession {
                 ctrl: DegradedModeController::new(cfg),
                 tally: PhyErrorTally::new(),
                 history: VecDeque::new(),
+                msg: Vec::new(),
             });
         }
     }
@@ -717,13 +764,29 @@ impl CosSession {
 
     /// The front half of [`transceive`](Self::transceive): build, embed,
     /// propagate, front end, detect, and stage the DATA-field decode up
-    /// to (but not including) the Viterbi run.
+    /// to (but not including) the Viterbi run. Composed from the tx /
+    /// air / rx thirds so the monolithic and engine-batched forms share
+    /// one implementation of every stage — bit-identical by construction.
     fn transceive_prepare(
         &mut self,
         payload: &[u8],
         control_bits: &[u8],
         embed_control: bool,
     ) -> PlainPrep {
+        let tok = self.transceive_prepare_tx(payload, control_bits, embed_control);
+        self.air();
+        self.transceive_prepare_rx(tok)
+    }
+
+    /// The tx third of [`transceive_prepare`](Self::transceive_prepare):
+    /// build the frame, embed the control silences, and render the
+    /// waveform into `ws.tx.samples`, ready for the air stage.
+    fn transceive_prepare_tx(
+        &mut self,
+        payload: &[u8],
+        control_bits: &[u8],
+        embed_control: bool,
+    ) -> TxPrep {
         self.seq += 1;
         let scrambler_seed = (self.seq % 127 + 1) as u8;
         let rate = self.rate;
@@ -765,19 +828,64 @@ impl CosSession {
             }
         }
         let silences_sent = self.xs.truth.len();
+        self.ws.tx.render();
+        TxPrep { silences_sent, rate, embed_control }
+    }
 
-        // Air: render the waveform and land the channel output straight
-        // in the receive workspace.
-        {
-            let CosSession { link, ws, .. } = self;
-            ws.tx.render();
-            let PhyWorkspace { tx, rx } = ws;
-            link.transmit_into(&tx.samples, &mut rx.samples);
+    /// The air third: land the channel output of the rendered waveform
+    /// straight in the receive workspace — the per-frame twin of the
+    /// engine's batched [`Link::transmit_batch_into`] round.
+    pub(crate) fn air(&mut self) {
+        let CosSession { link, ws, .. } = self;
+        let PhyWorkspace { tx, rx } = ws;
+        link.transmit_into(&tx.samples, &mut rx.samples);
+    }
+
+    /// The rate the next frame will render at, predicted from the state
+    /// the tx-prepare stage reads without advancing anything: the pinned
+    /// config rate, the session's standing rate, or (for an adaptive job)
+    /// the staircase's current rate. `None` only for an adaptive job on a
+    /// session whose controller state hasn't been created yet — callers
+    /// using this to pre-check lockstep compatibility should treat that
+    /// as "unknown", never guess. The engine's bundle key and its
+    /// batched-air pre-check both ride on this: the rendered waveform
+    /// length is a function of (payload length, rate) alone, so equal
+    /// predictions mean air-lockstep-compatible frames.
+    pub(crate) fn planned_rate(&self, adaptive: bool) -> Option<DataRate> {
+        if adaptive {
+            match self.config.rate {
+                Some(r) => Some(r),
+                None => self.adaptation.as_ref().map(|s| s.ctrl.rate()),
+            }
+        } else {
+            Some(self.rate)
         }
+    }
 
-        // Receive: front end, energy detection, and the demap/FEC staging
-        // of the erasure decode — all into session-owned scratch. The
-        // Viterbi itself belongs to the next stage.
+    /// The link shape [`Link::transmit_batch_into`] requires lockstep
+    /// frames to share: (tap count, lead-in).
+    pub(crate) fn air_shape(&self) -> (usize, usize) {
+        (self.link.channel().tap_count(), self.link.lead_in())
+    }
+
+    /// Splits out the borrows [`air`](Self::air) uses — the link, the
+    /// rendered tx waveform and the rx landing buffer — so the engine can
+    /// hand several sessions' frames to [`Link::transmit_batch_into`] as
+    /// one lockstep batch. Only valid between
+    /// [`transceive_prepare_tx`](Self::transceive_prepare_tx) and
+    /// [`transceive_prepare_rx`](Self::transceive_prepare_rx).
+    pub(crate) fn air_parts(&mut self) -> (&mut Link, &[Complex], &mut Vec<Complex>) {
+        let CosSession { link, ws, .. } = self;
+        let PhyWorkspace { tx, rx } = ws;
+        (link, &tx.samples, &mut rx.samples)
+    }
+
+    /// The rx third of [`transceive_prepare`](Self::transceive_prepare):
+    /// front end, energy detection, and the demap/FEC staging of the
+    /// erasure decode — all into session-owned scratch. The Viterbi
+    /// itself belongs to the next stage.
+    fn transceive_prepare_rx(&mut self, tok: TxPrep) -> PlainPrep {
+        let TxPrep { silences_sent, rate, embed_control } = tok;
         let stage = match self.phy_rx.front_end_into(&self.ws.rx.samples, &mut self.ws.rx.fe) {
             Ok(()) => {
                 // Split-borrow the session so the detector, PHY workspace
@@ -1028,18 +1136,27 @@ impl CosSession {
         self.summarize(&t)
     }
 
-    /// The prepare stage of [`send_packet_summary`](Self::send_packet_summary)
-    /// — the engine's lockstep entry point. Must be paired with a Viterbi
-    /// stage ([`plain_run_viterbi`](Self::plain_run_viterbi) or a lockstep
-    /// run over [`staged_viterbi_frame`](Self::staged_viterbi_frame)) and
-    /// then [`plain_finish`](Self::plain_finish).
-    pub(crate) fn plain_prepare(&mut self, payload: &[u8], control_bits: &[u8]) -> PlainPrep {
-        self.transceive_prepare(payload, control_bits, true)
+    /// The tx third of [`send_packet_summary`](Self::send_packet_summary),
+    /// for the engine's batched-air rounds: build/embed/render, leaving
+    /// the waveform in [`air_parts`](Self::air_parts). Must be paired
+    /// with an air stage, [`plain_prepare_rx`](Self::plain_prepare_rx), a
+    /// Viterbi stage ([`plain_run_viterbi`](Self::plain_run_viterbi) or a
+    /// lockstep run over
+    /// [`staged_viterbi_frame`](Self::staged_viterbi_frame)) and then
+    /// [`plain_finish`](Self::plain_finish).
+    pub(crate) fn plain_prepare_tx(&mut self, payload: &[u8], control_bits: &[u8]) -> TxPrep {
+        self.transceive_prepare_tx(payload, control_bits, true)
+    }
+
+    /// The rx third matching [`plain_prepare_tx`](Self::plain_prepare_tx),
+    /// after the air stage ran (batched or per-frame).
+    pub(crate) fn plain_prepare_rx(&mut self, tok: TxPrep) -> PlainPrep {
+        self.transceive_prepare_rx(tok)
     }
 
     /// Per-frame Viterbi stage matching
-    /// [`plain_prepare`](Self::plain_prepare) — the remainder path when a
-    /// full lane group isn't available.
+    /// [`plain_prepare_rx`](Self::plain_prepare_rx) — the remainder path
+    /// when a full lane group isn't available.
     pub(crate) fn plain_run_viterbi(&mut self, prep: &PlainPrep) {
         self.transceive_viterbi(prep);
     }
@@ -1087,6 +1204,12 @@ impl CosSession {
     /// nothing on top.)
     pub fn send_packet_resilient_summary(&mut self, payload: &[u8]) -> ResilientSummary {
         let c = self.send_resilient_core(payload);
+        self.resilient_summarize(&c)
+    }
+
+    /// Packages a [`ResilientCore`] into the fixed-size summary — shared
+    /// by the monolithic path and the engine's staged finish.
+    pub(crate) fn resilient_summarize(&self, c: &ResilientCore) -> ResilientSummary {
         ResilientSummary {
             packet: self.summarize(&c.t),
             mode: c.mode,
@@ -1100,22 +1223,53 @@ impl CosSession {
 
     /// The shared resilient-path core: ARQ poll, transceive, fault-gated
     /// feedback application, recalibration and mode bookkeeping.
+    /// Composed from the tx / air / rx / Viterbi / finish stages so this
+    /// monolithic form and the engine's batched form share one
+    /// implementation of every stage.
     fn send_resilient_core(&mut self, payload: &[u8]) -> ResilientCore {
+        let meta = self.resilient_prepare_tx(payload);
+        self.air();
+        let prep = self.transceive_prepare_rx(meta.tx);
+        self.transceive_viterbi(&prep);
+        self.resilient_finish(meta, prep)
+    }
+
+    /// The tx half of the resilient path: mode decides whether the
+    /// control channel is exercised, the ARQ head (or the empty marker as
+    /// a channel probe) supplies the bits — stored in the state's `msg`
+    /// for the finish half — and the frame is built and rendered.
+    pub(crate) fn resilient_prepare_tx(&mut self, payload: &[u8]) -> ResilientTx {
         self.ensure_resilience();
         let mut state = self.resilience.take().expect("just ensured");
 
-        // Mode decides whether the control channel is exercised; the ARQ
-        // head (or the empty marker as a channel probe) supplies the bits.
         let mode = state.ctrl.mode();
-        let (bits, attempted, from_queue) = match mode {
+        state.msg.clear();
+        let (attempted, from_queue) = match mode {
             LinkMode::Cos | LinkMode::Probing => match state.arq.poll() {
-                Some(b) => (b, true, true),
-                None => (Vec::new(), true, false),
+                Some(b) => {
+                    state.msg.extend_from_slice(&b);
+                    (true, true)
+                }
+                None => (true, false),
             },
-            LinkMode::DataOnly => (Vec::new(), false, false),
+            LinkMode::DataOnly => (false, false),
         };
 
-        let t = self.transceive(payload, &bits, attempted);
+        let tx = self.transceive_prepare_tx(payload, &state.msg, attempted);
+        self.resilience = Some(state);
+        ResilientTx { tx, mode, attempted, from_queue }
+    }
+
+    /// The finish half of the resilient path: descramble/CRC finish via
+    /// [`transceive_finish`](Self::transceive_finish), then the
+    /// fault-gated feedback application, recalibration and mode
+    /// bookkeeping. Requires the rx-prepare and Viterbi stages to have
+    /// run.
+    pub(crate) fn resilient_finish(&mut self, meta: ResilientTx, prep: PlainPrep) -> ResilientCore {
+        let ResilientTx { tx: _, mode, attempted, from_queue } = meta;
+        let mut state = self.resilience.take().expect("prepared by resilient_prepare_tx");
+
+        let t = self.transceive_finish(&state.msg, prep);
         let fate = self.link.feedback_fate();
 
         if let Some(e) = &t.phy_error {
@@ -1258,6 +1412,12 @@ impl CosSession {
     /// summary itself adds nothing on top.)
     pub fn send_packet_adaptive_summary(&mut self, payload: &[u8]) -> AdaptiveSummary {
         let c = self.send_adaptive_core(payload);
+        self.adaptive_summarize(&c)
+    }
+
+    /// Packages an [`AdaptiveCore`] into the fixed-size summary — shared
+    /// by the monolithic path and the engine's staged finish.
+    pub(crate) fn adaptive_summarize(&self, c: &AdaptiveCore) -> AdaptiveSummary {
         AdaptiveSummary {
             packet: self.summarize(&c.t),
             ewma_snr_db: c.ewma_snr_db,
@@ -1274,8 +1434,20 @@ impl CosSession {
 
     /// The shared adaptive-path core: read the controller's rate and
     /// budget, compose the probe message, transceive, and feed the
-    /// outcome back into the controller.
+    /// outcome back into the controller. Composed from the tx / air / rx
+    /// / Viterbi / finish stages like the resilient core.
     fn send_adaptive_core(&mut self, payload: &[u8]) -> AdaptiveCore {
+        let meta = self.adaptive_prepare_tx(payload);
+        self.air();
+        let prep = self.transceive_prepare_rx(meta.tx);
+        self.transceive_viterbi(&prep);
+        self.adaptive_finish(meta, prep)
+    }
+
+    /// The tx half of the adaptive path: the staircase picks the rate,
+    /// the probe search sizes the budget, the probe message is composed
+    /// into the state's `msg`, and the frame is built and rendered.
+    pub(crate) fn adaptive_prepare_tx(&mut self, payload: &[u8]) -> AdaptiveTx {
         self.ensure_adaptation();
         let mut state = self.adaptation.take().expect("just ensured");
 
@@ -1318,7 +1490,20 @@ impl CosSession {
             state.msg.push(((x >> 32) & 1) as u8);
         }
 
-        let t = self.transceive(payload, &state.msg, true);
+        let tx = self.transceive_prepare_tx(payload, &state.msg, true);
+        self.adaptation = Some(state);
+        AdaptiveTx { tx, target, from_queue }
+    }
+
+    /// The finish half of the adaptive path: descramble/CRC finish via
+    /// [`transceive_finish`](Self::transceive_finish), then the feedback
+    /// gate, probe confirmation and controller observation. Requires the
+    /// rx-prepare and Viterbi stages to have run.
+    pub(crate) fn adaptive_finish(&mut self, meta: AdaptiveTx, prep: PlainPrep) -> AdaptiveCore {
+        let AdaptiveTx { tx: _, target, from_queue } = meta;
+        let mut state = self.adaptation.take().expect("prepared by adaptive_prepare_tx");
+
+        let t = self.transceive_finish(&state.msg, prep);
         let fate = self.link.feedback_fate();
 
         // Adaptation trusts only fresh feedback: stale, corrupt or

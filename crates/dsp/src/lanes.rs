@@ -248,6 +248,28 @@ impl C64xL {
     pub const fn splat(re: f64, im: f64) -> Self {
         C64xL { re: F64xL::splat(re), im: F64xL::splat(im) }
     }
+
+    /// Loads [`LANES`] complex values from split (SoA) real/imaginary
+    /// slices — the staging layout the channel-plane kernels use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice holds fewer than [`LANES`] elements.
+    #[inline(always)]
+    pub fn load_split(re: &[f64], im: &[f64]) -> Self {
+        C64xL { re: F64xL::load(re), im: F64xL::load(im) }
+    }
+
+    /// Stores the lanes to split (SoA) real/imaginary slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice holds fewer than [`LANES`] elements.
+    #[inline(always)]
+    pub fn store_split(self, re: &mut [f64], im: &mut [f64]) {
+        self.re.store(re);
+        self.im.store(im);
+    }
 }
 
 impl Add for C64xL {
@@ -407,6 +429,19 @@ mod tests {
             assert_eq!(prod.re.0[l].to_bits(), scalar.re.to_bits());
             assert_eq!(prod.im.0[l].to_bits(), scalar.im.to_bits());
         }
+    }
+
+    #[test]
+    fn split_load_store_roundtrip() {
+        let re = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 99.0];
+        let im = [-1.0, -2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0, 99.0];
+        let v = C64xL::load_split(&re, &im);
+        let mut out_re = [0.0; LANES + 1];
+        let mut out_im = [0.0; LANES + 1];
+        v.store_split(&mut out_re, &mut out_im);
+        assert_eq!(&out_re[..LANES], &re[..LANES]);
+        assert_eq!(&out_im[..LANES], &im[..LANES]);
+        assert_eq!(out_re[LANES], 0.0);
     }
 
     #[test]

@@ -34,11 +34,15 @@ cargo test -q --release --test golden_vectors
 echo "== golden vectors under COS_KERNELS=scalar (the lane/scalar bit-identity contract, end to end)"
 COS_KERNELS=scalar cargo test -q --release --test golden_vectors
 
+echo "== channel kernel differential under both COS_KERNELS (lane AWGN/conv/overlap + batched transmit bit-identical to scalar)"
+COS_KERNELS=scalar cargo test -q --release -p cos-channel --test kernel_differential
+COS_KERNELS=lanes cargo test -q --release -p cos-channel --test kernel_differential
+
 echo "== session_storm --smoke --kernels both (1000+ pooled sessions: engine outcomes byte-identical at 1/4/8 threads AND across scalar/lane kernels)"
 cargo run -q --release -p cos-bench --bin session_storm -- --smoke --kernels both
 
-echo "== adaptation_storm --smoke (closed-loop controller: adaptive outcomes byte-identical at 1/4/8 threads + drift-duel gate)"
-cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke
+echo "== adaptation_storm --smoke --kernels both (closed-loop controller: adaptive outcomes byte-identical at 1/4/8 threads AND across kernels + drift-duel gate)"
+cargo run -q --release -p cos-bench --bin adaptation_storm -- --smoke --kernels both
 
 echo "== service_storm --smoke (async service chaos: zero lost jobs under stalls/poison/overflow, digests identical at 1/4/8 threads, journal replays byte-exactly)"
 cargo run -q --release -p cos-bench --bin service_storm -- --smoke

@@ -2,17 +2,24 @@
 //! mixed-kind job list pushed through [`cos_core::BatchEngine`] at 1, 4
 //! and 8 worker threads must be **byte-identical** (every `f64` compared
 //! by bit pattern) to running the same per-session call sequence on plain
-//! [`cos_core::CosSession`]s with no engine at all.
+//! [`cos_core::CosSession`]s with no engine at all — under **both**
+//! symbol-plane kernels (`COS_KERNELS=scalar` and `lanes`), and with the
+//! two kernels byte-identical to each other.
 //!
 //! This is the engine's whole contract in one test: sharding on the
-//! session boundary, per-session program order = submit order, and no
-//! cross-session state bleeding through the pool or the workers.
+//! session boundary, per-session program order = submit order, no
+//! cross-session state bleeding through the pool or the workers, and —
+//! since PR 10 bundles resilient/adaptive jobs into the lockstep rounds
+//! (batched channel + lockstep Viterbi) — the staged tx/air/rx/finish
+//! pipeline bit-identical to the monolithic send paths for every job
+//! kind.
 
 use cos_channel::{BurstInterference, FaultEngine, FeedbackLoss};
 use cos_core::session::{
     AdaptiveSummary, CosSession, PacketSummary, ResilientSummary, SessionConfig,
 };
 use cos_core::{BatchEngine, EngineConfig, JobResult, SessionPool};
+use cos_dsp::{set_kernel_mode, KernelMode};
 use cos_phy::rates::DataRate;
 
 const N_SESSIONS: usize = 8;
@@ -189,23 +196,34 @@ fn engine_run(threads: usize) -> Vec<JobResult> {
     results
 }
 
-#[test]
-fn batch_engine_matches_sequential_sessions_at_any_thread_count() {
-    let reference = sequential_reference();
-    assert_eq!(reference.len(), N_JOBS);
-    for threads in [1, 4, 8] {
-        let got = engine_run(threads);
-        assert_eq!(got.len(), reference.len(), "threads={threads}: job count");
-        for (k, (g, want)) in got.iter().zip(&reference).enumerate() {
-            let ctx = format!("threads={threads}, job {k}");
-            match (g, want) {
-                (JobResult::Plain(a), JobResult::Plain(b)) => assert_packet_eq(a, b, &ctx),
-                (JobResult::Resilient(a), JobResult::Resilient(b)) => {
-                    assert_resilient_eq(a, b, &ctx)
-                }
-                (JobResult::Adaptive(a), JobResult::Adaptive(b)) => assert_adaptive_eq(a, b, &ctx),
-                _ => panic!("{ctx}: result kind mismatch"),
-            }
+fn assert_results_eq(got: &[JobResult], want: &[JobResult], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: job count");
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        let ctx = format!("{label}, job {k}");
+        match (g, w) {
+            (JobResult::Plain(a), JobResult::Plain(b)) => assert_packet_eq(a, b, &ctx),
+            (JobResult::Resilient(a), JobResult::Resilient(b)) => assert_resilient_eq(a, b, &ctx),
+            (JobResult::Adaptive(a), JobResult::Adaptive(b)) => assert_adaptive_eq(a, b, &ctx),
+            _ => panic!("{ctx}: result kind mismatch"),
         }
     }
+}
+
+#[test]
+fn batch_engine_matches_sequential_sessions_at_any_thread_count_and_kernel() {
+    // Under each kernel the engine must match the no-engine reference at
+    // every thread count; across kernels the references must match each
+    // other (the channel/FEC lane kernels are bit-identical to scalar).
+    let mut per_mode: Vec<Vec<JobResult>> = Vec::new();
+    for (name, mode) in [("scalar", KernelMode::Scalar), ("lanes", KernelMode::Lanes)] {
+        set_kernel_mode(mode);
+        let reference = sequential_reference();
+        assert_eq!(reference.len(), N_JOBS);
+        for threads in [1, 4, 8] {
+            let got = engine_run(threads);
+            assert_results_eq(&got, &reference, &format!("kernels={name}, threads={threads}"));
+        }
+        per_mode.push(reference);
+    }
+    assert_results_eq(&per_mode[1], &per_mode[0], "lanes vs scalar reference");
 }
